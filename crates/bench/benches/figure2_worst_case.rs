@@ -1,0 +1,37 @@
+//! Figure 2: the schedule forcing `KnownNNoChirality` to spend exactly
+//! `3n − 6` rounds, across ring sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynring_analysis::figures;
+use dynring_bench::print_and_check;
+use std::time::Duration;
+
+fn reproduce_figure2(c: &mut Criterion) {
+    let sizes = [8usize, 16, 32, 64, 128];
+    let rows: Vec<_> = sizes.iter().map(|&n| figures::figure2(n).row()).collect();
+    print_and_check(
+        "Figure 2 — worst-case schedule (exploration takes exactly 3n−6 rounds)",
+        &rows,
+    );
+    println!("| n | explored at | 3n−6 |");
+    println!("|---|---|---|");
+    for &n in &sizes {
+        let outcome = figures::figure2(n);
+        println!("| {n} | {} | {} |", outcome.explored_at.unwrap_or(0), outcome.expected);
+    }
+
+    let mut group = c.benchmark_group("figure2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for &n in &sizes {
+        group.bench_with_input(BenchmarkId::new("worst_case", n), &n, |b, &n| {
+            b.iter(|| figures::figure2(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_figure2);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Figures 9–11: identifier construction and the ID-driven direction
+//! sequences (including the Lemma 3 common-window property).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynring_core::fsync::{AgentIdentifier, DirectionSequence};
+use std::time::Duration;
+
+fn reproduce_ident_figures(c: &mut Criterion) {
+    // The concrete vectors of Figures 9 and 10.
+    println!("| figure | agent | (r1, r2, r3) | ID bits | ID value |");
+    println!("|---|---|---|---|---|");
+    for (figure, agent, r1, r2, r3) in [
+        ("Fig. 9", "a", 2u64, 4u64, 0u64),
+        ("Fig. 9", "b", 3, 7, 0),
+        ("Fig. 10", "a", 2, 5, 4),
+        ("Fig. 10", "b", 6, 8, 0),
+    ] {
+        let id = AgentIdentifier::from_rounds(r1, r2, r3);
+        println!("| {figure} | {agent} | ({r1}, {r2}, {r3}) | {} | {} |", id.bits(), id.value());
+    }
+    assert_eq!(AgentIdentifier::from_rounds(2, 4, 0).value(), 48, "Figure 9, agent a");
+    assert_eq!(AgentIdentifier::from_rounds(3, 7, 0).value(), 164, "Figure 9, agent b");
+    assert_eq!(AgentIdentifier::from_rounds(2, 5, 4).value(), 42, "Figure 10, agent a");
+    assert_eq!(AgentIdentifier::from_rounds(6, 8, 0).value(), 304, "Figure 10, agent b");
+
+    // Lemma 3: common-direction windows for the Figure 9/10 identifier pairs.
+    println!("\n| pair | horizon (Lemma 3, c·n = 64) | longest common run |");
+    println!("|---|---|---|");
+    for (a, b) in [(48u64, 164u64), (42, 304)] {
+        let sa = DirectionSequence::new(a);
+        let sb = DirectionSequence::new(b);
+        let horizon = DirectionSequence::lemma3_horizon(a, b, 64);
+        let run = sa.longest_common_run(&sb, horizon);
+        assert!(run >= 64, "Lemma 3 window missing for ({a}, {b})");
+        println!("| ({a}, {b}) | {horizon} | {run} |");
+    }
+
+    let mut group = c.benchmark_group("figures_ident");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("identifier_from_rounds", |b| {
+        b.iter(|| AgentIdentifier::from_rounds(criterion::black_box(123), 456, 78));
+    });
+    for c_n in [64u64, 256] {
+        group.bench_with_input(BenchmarkId::new("lemma3_common_run", c_n), &c_n, |b, &c_n| {
+            let sa = DirectionSequence::new(48);
+            let sb = DirectionSequence::new(164);
+            let horizon = DirectionSequence::lemma3_horizon(48, 164, c_n);
+            b.iter(|| sa.longest_common_run(&sb, horizon));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_ident_figures);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figures 5–7 and 12: the termination cases of the landmark algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynring_analysis::figures;
+use dynring_bench::print_and_check;
+use std::time::Duration;
+
+fn reproduce_landmark_figures(c: &mut Criterion) {
+    let mut rows = figures::figures5_7(16);
+    rows.push(figures::figure12(17));
+    print_and_check("Figures 5–7 and 12 — landmark termination cases", &rows);
+
+    let mut group = c.benchmark_group("figures_landmark");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for n in [8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("figures5_7", n), &n, |b, &n| {
+            b.iter(|| figures::figures5_7(n));
+        });
+        let odd = if n % 2 == 1 { n } else { n + 1 };
+        group.bench_with_input(BenchmarkId::new("figure12", odd), &odd, |b, &odd| {
+            b.iter(|| figures::figure12(odd));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_landmark_figures);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figures 15 and 16: the bounce/reverse behaviour of the PT algorithms and
+//! the confinement run of the lower-bound constructions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynring_analysis::figures;
+use dynring_bench::print_and_check;
+use std::time::Duration;
+
+fn reproduce_ssync_figures(c: &mut Criterion) {
+    let rows = vec![figures::figure15(12), figures::figure16(16)];
+    print_and_check("Figures 15 and 16 — PT bounce/reverse and NS confinement", &rows);
+
+    let mut group = c.benchmark_group("figures_ssync");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("figure15", n), &n, |b, &n| {
+            b.iter(|| figures::figure15(n));
+        });
+        group.bench_with_input(BenchmarkId::new("figure16", n), &n, |b, &n| {
+            b.iter(|| figures::figure16(n));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_ssync_figures);
+criterion_main!(benches);

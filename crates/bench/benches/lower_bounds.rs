@@ -1,0 +1,39 @@
+//! Lower bounds (Theorems 4, 13 and 15): the forced `N − 1` rounds and the
+//! quadratic move-complexity series of the PT algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynring_analysis::{lower_bounds, report};
+use dynring_bench::{print_and_check, SSYNC_SIZES};
+use std::time::Duration;
+
+fn reproduce_lower_bounds(c: &mut Criterion) {
+    let mut rows = vec![lower_bounds::theorem4(16)];
+    rows.extend(lower_bounds::theorem13_15(SSYNC_SIZES, 1));
+    print_and_check("Lower bounds — Theorems 4, 13 and 15", &rows);
+
+    let series = lower_bounds::quadratic_series(SSYNC_SIZES, 1);
+    println!(
+        "{}",
+        report::markdown_sweep(
+            "PTBoundWithChirality worst-case moves vs n²",
+            &series,
+            "n²",
+            |n| (n * n) as u64
+        )
+    );
+
+    let mut group = c.benchmark_group("lower_bounds");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for &n in SSYNC_SIZES {
+        group.bench_with_input(BenchmarkId::new("theorem4_figure2", n), &n, |b, &n| {
+            b.iter(|| lower_bounds::theorem4(n.max(6)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_lower_bounds);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table 1 (FSYNC impossibility results): Theorems 1 and 2, witnessed by the
+//! adversaries of the corresponding proofs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynring_analysis::scenario::{AdversaryKind, Scenario};
+use dynring_analysis::tables;
+use dynring_bench::print_and_check;
+use dynring_core::Algorithm;
+use dynring_engine::sim::StopCondition;
+use std::time::Duration;
+
+fn reproduce_table1(c: &mut Criterion) {
+    print_and_check("Table 1 — FSYNC impossibility results", &tables::table1(16));
+
+    let mut group = c.benchmark_group("table1");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("theorem1_witness_n16", |b| {
+        b.iter(|| {
+            Scenario::fsync(16, Algorithm::KnownBound { upper_bound: 3 })
+                .with_starts(vec![0, 1])
+                .with_adversary(AdversaryKind::BlockAgent { agent: 0 })
+                .with_stop(StopCondition::AllTerminated)
+                .run()
+        });
+    });
+    group.bench_function("theorem2_unconscious_never_terminates_n16", |b| {
+        b.iter(|| {
+            Scenario::fsync(16, Algorithm::Unconscious)
+                .with_adversary(AdversaryKind::PreventMeeting)
+                .with_stop(StopCondition::RoundBudget)
+                .with_max_rounds(400)
+                .run()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_table1);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Table 2 (FSYNC possibility results): Theorems 3, 6 and 8.
+//!
+//! Prints the reproduced table and measures the runtime of one representative
+//! adversarial run per algorithm and ring size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynring_analysis::scenario::{AdversaryKind, Scenario};
+use dynring_analysis::tables;
+use dynring_bench::{print_and_check, FSYNC_SIZES};
+use dynring_core::Algorithm;
+use std::time::Duration;
+
+fn reproduce_table2(c: &mut Criterion) {
+    print_and_check("Table 2 — FSYNC possibility results", &tables::table2(FSYNC_SIZES, 1));
+
+    let mut group = c.benchmark_group("table2");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for &n in FSYNC_SIZES {
+        for (label, algorithm) in [
+            ("KnownNNoChirality", Algorithm::KnownBound { upper_bound: n }),
+            ("LandmarkWithChirality", Algorithm::LandmarkChirality),
+            ("LandmarkNoChirality", Algorithm::LandmarkNoChirality),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| {
+                    Scenario::fsync(n, algorithm)
+                        .with_adversary(AdversaryKind::Sticky {
+                            min_hold: 1,
+                            max_hold: n as u64,
+                            present: 0.25,
+                            seed: 11,
+                        })
+                        .with_max_rounds(dynring_analysis::sweeps::round_budget(&algorithm, n))
+                        .run()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_table2);
+criterion_main!(benches);

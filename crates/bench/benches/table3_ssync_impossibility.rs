@@ -1,0 +1,46 @@
+//! Table 3 (SSYNC impossibility results): Theorems 9, 10, 11 and 19.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynring_analysis::scenario::{AdversaryKind, Scenario, SchedulerKind};
+use dynring_analysis::tables;
+use dynring_bench::print_and_check;
+use dynring_core::Algorithm;
+use dynring_engine::sim::StopCondition;
+use dynring_model::{SynchronyModel, TransportModel};
+use std::time::Duration;
+
+fn reproduce_table3(c: &mut Criterion) {
+    print_and_check("Table 3 — SSYNC impossibility results", &tables::table3(12));
+
+    let mut group = c.benchmark_group("table3");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("theorem9_ns_freeze_n12", |b| {
+        b.iter(|| {
+            let mut scenario =
+                Scenario::fsync(12, Algorithm::PtBoundNoChirality { upper_bound: 12 });
+            scenario.synchrony = SynchronyModel::Ssync(TransportModel::NoSimultaneity);
+            scenario
+                .with_scheduler(SchedulerKind::FirstMoverOnly)
+                .with_adversary(AdversaryKind::BlockFirstMover)
+                .with_stop(StopCondition::RoundBudget)
+                .with_max_rounds(600)
+                .run()
+        });
+    });
+    group.bench_function("theorem11_partial_only_n12", |b| {
+        b.iter(|| {
+            Scenario::ssync(12, Algorithm::PtBoundChirality { upper_bound: 12 }, 7)
+                .with_adversary(AdversaryKind::BlockForever { edge: 6 })
+                .with_stop(StopCondition::RoundBudget)
+                .with_max_rounds(1200)
+                .run()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_table3);
+criterion_main!(benches);

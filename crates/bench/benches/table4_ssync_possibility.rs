@@ -1,0 +1,35 @@
+//! Table 4 (SSYNC possibility results): Theorems 12, 14, 16, 17, 18 and 20.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dynring_analysis::scenario::Scenario;
+use dynring_analysis::tables;
+use dynring_bench::{print_and_check, SSYNC_SIZES};
+use dynring_core::Algorithm;
+use std::time::Duration;
+
+fn reproduce_table4(c: &mut Criterion) {
+    print_and_check("Table 4 — SSYNC possibility results", &tables::table4(SSYNC_SIZES, 1));
+
+    let mut group = c.benchmark_group("table4");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for &n in SSYNC_SIZES {
+        for (label, algorithm) in [
+            ("PTBoundWithChirality", Algorithm::PtBoundChirality { upper_bound: n }),
+            ("PTLandmarkWithChirality", Algorithm::PtLandmarkChirality),
+            ("PTBoundNoChirality", Algorithm::PtBoundNoChirality { upper_bound: n }),
+            ("ETBoundNoChirality", Algorithm::EtBoundNoChirality { ring_size: n }),
+            ("ETUnconscious", Algorithm::EtUnconscious),
+        ] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter(|| Scenario::ssync(n, algorithm, 17).run());
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, reproduce_table4);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Fully synchronous (FSYNC) exploration algorithms (Section 3).
+//!
+//! All agents are active in every round. The algorithms here are exactly
+//! those of the paper:
+//!
+//! | Algorithm | Paper | Assumptions | Guarantee |
+//! |---|---|---|---|
+//! | [`KnownBound`] | Fig. 1, Th. 3 | known upper bound `N`, no chirality | explicit termination by round `3N − 6` |
+//! | [`Unconscious`] | Fig. 3, Th. 5 | nothing | exploration in `O(n)` rounds, never stops |
+//! | [`LandmarkChirality`] | Fig. 4, Th. 6 | landmark + chirality | explicit termination in `O(n)` rounds |
+//! | [`LandmarkNoChirality`] | Figs. 8/13, Th. 7/8 | landmark only | explicit termination in `O(n log n)` rounds |
+
+mod dirseq;
+mod ident;
+mod known_bound;
+mod landmark_chirality;
+mod landmark_no_chirality;
+mod unconscious;
+
+pub use dirseq::DirectionSequence;
+pub use ident::{interleave_id, AgentIdentifier};
+pub use known_bound::KnownBound;
+pub use landmark_chirality::LandmarkChirality;
+pub use landmark_no_chirality::LandmarkNoChirality;
+pub use unconscious::Unconscious;
+
+pub mod pseudocode {
+    //! Cross-reference of state names used in the paper's pseudo-code to the
+    //! Rust enums of this module, for readers following along with the PDF.
+    //!
+    //! * Figure 1 (`KnownNNoChirality`): `Init`, `Bounce`, `Forward`,
+    //!   `Terminate` → [`super::KnownBound`].
+    //! * Figure 3 (`Unconscious Exploration`): `Init`, `Bounce`, `Reverse`,
+    //!   `Forward`, `Keep` → [`super::Unconscious`].
+    //! * Figure 4 (`LandmarkWithChirality`): `Init`, `Bounce`, `Return`,
+    //!   `Forward`, `Terminate`, `BComm`, `FComm` →
+    //!   [`super::LandmarkChirality`].
+    //! * Figures 8/13 (`StartFromLandmarkNoChirality` /
+    //!   `LandmarkNoChirality`): `Init`, `FirstBlock`, `AtLandmark`, `InitL`,
+    //!   `Happy`, `FirstBlockL`, `AtLandmarkL`, `Ready`, `Reverse` plus the
+    //!   Figure 4 states → [`super::LandmarkNoChirality`].
+}

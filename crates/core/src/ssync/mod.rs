@@ -1,0 +1,28 @@
+//! Semi-synchronous (SSYNC) exploration algorithms (Section 4).
+//!
+//! Under SSYNC an adversary activates an arbitrary non-empty subset of the
+//! agents each round (every agent infinitely often); what happens to an agent
+//! sleeping on a port distinguishes the NS / PT / ET transport models. The
+//! complexity measure is the total number of edge traversals.
+//!
+//! | Algorithm | Paper | Model | Assumptions | Guarantee |
+//! |---|---|---|---|---|
+//! | [`PtBoundChirality`] | Fig. 14, Th. 12 | PT | 2 agents, chirality, known `N` | exploration, strong partial termination, `O(N²)` moves |
+//! | [`PtLandmarkChirality`] | Fig. 17, Th. 14 | PT | 2 agents, chirality, landmark | exploration, strong partial termination, `O(n²)` moves |
+//! | [`PtNoChirality`] (bound) | Fig. 18, Th. 16 | PT | 3 agents, known `N` | exploration, strong partial termination, `O(N²)` moves |
+//! | [`PtNoChirality`] (landmark) | Th. 17 | PT | 3 agents, landmark | exploration, strong partial termination, `O(n²)` moves |
+//! | [`PtNoChirality`] (exact, strict) | Th. 20 | ET | 3 agents, exact `n` | exploration, strong partial termination |
+//! | [`EtUnconscious`] | Th. 18 | ET | 2 agents, chirality | unconscious exploration |
+//!
+//! Exploration in the NS model is impossible with any number of agents
+//! (Theorem 9); there is therefore no NS algorithm — the analysis crate
+//! demonstrates the impossibility by running these protocols against the
+//! Theorem 9 adversary.
+
+mod et_unconscious;
+mod pt_chirality;
+mod pt_no_chirality;
+
+pub use et_unconscious::EtUnconscious;
+pub use pt_chirality::{PtBoundChirality, PtLandmarkChirality};
+pub use pt_no_chirality::{PtNoChirality, SizeTermination};

@@ -1,0 +1,59 @@
+//! Round engine for live exploration of dynamic rings.
+//!
+//! This crate executes the Look–Compute–Move model of Section 2 of
+//! *Live Exploration of Dynamic Rings* against pluggable adversaries:
+//!
+//! * [`world`] — the "god view": where each agent stands, which ports are
+//!   held, which nodes have been visited;
+//! * [`scheduler`] — activation policies: the FSYNC scheduler, fair and
+//!   adversarial SSYNC schedulers, and the ET-fairness wrapper;
+//! * [`adversary`] — edge-removal policies: benign, random, scripted
+//!   (fixed [`EdgeSchedule`](dynring_graph::EdgeSchedule)s such as the
+//!   worst-case schedule of Figure 2) and the proof adversaries
+//!   (Observations 1–2, Theorems 9, 10, 13, 15, 19);
+//! * [`sim`] — the round loop itself, with port mutual exclusion, passive
+//!   transport, metrics and invariant checking;
+//! * [`trace`] — per-round records of everything that happened, for replay,
+//!   rendering and assertions in tests.
+//!
+//! # Quick example
+//!
+//! ```
+//! use dynring_core::fsync::KnownBound;
+//! use dynring_engine::adversary::NoRemoval;
+//! use dynring_engine::scheduler::FullActivation;
+//! use dynring_engine::sim::{Simulation, StopCondition};
+//! use dynring_graph::{Handedness, NodeId, RingTopology};
+//! use dynring_model::SynchronyModel;
+//!
+//! let ring = RingTopology::new(8).unwrap();
+//! let mut sim = Simulation::builder(ring)
+//!     .synchrony(SynchronyModel::Fsync)
+//!     .agent(NodeId::new(0), Handedness::LeftIsCcw, Box::new(KnownBound::new(8)))
+//!     .agent(NodeId::new(3), Handedness::LeftIsCcw, Box::new(KnownBound::new(8)))
+//!     .activation(Box::new(FullActivation))
+//!     .edges(Box::new(NoRemoval))
+//!     .build()
+//!     .unwrap();
+//! let report = sim.run(100, StopCondition::AllTerminated);
+//! assert!(report.explored());
+//! assert!(report.all_terminated);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversary;
+pub mod error;
+pub mod render;
+pub mod scheduler;
+pub mod sim;
+pub mod trace;
+pub mod world;
+
+pub use adversary::EdgePolicy;
+pub use error::EngineError;
+pub use scheduler::ActivationPolicy;
+pub use sim::{RunReport, Simulation, SimulationBuilder, StopCondition};
+pub use trace::{RoundRecord, Trace};
+pub use world::{AgentView, PredictedAction, RoundView};

@@ -1,0 +1,176 @@
+//! ASCII rendering of rings, rounds and traces.
+//!
+//! Used by the examples to show what a run looked like, in the spirit of the
+//! schedule drawings of Figures 2, 15 and 16 of the paper.
+
+use crate::trace::{RoundRecord, Trace};
+use dynring_graph::{GlobalDirection, NodeId, RingTopology};
+
+/// Renders one round as a single line: each node is a cell, `*` marks the
+/// landmark, letters mark agents (uppercase = in the node, lowercase = on a
+/// port), and `x` marks the missing edge.
+#[must_use]
+pub fn render_round(ring: &RingTopology, record: &RoundRecord) -> String {
+    let n = ring.size();
+    let mut cells: Vec<String> = (0..n)
+        .map(|i| {
+            let node = NodeId::new(i);
+            let mut cell = String::new();
+            if ring.is_landmark(node) {
+                cell.push('*');
+            }
+            for agent in &record.agents {
+                if agent.node_after == node {
+                    let letter = (b'A' + (agent.id.index() % 26) as u8) as char;
+                    if agent.held_port_after.is_some() {
+                        cell.push(letter.to_ascii_lowercase());
+                    } else {
+                        cell.push(letter);
+                    }
+                }
+            }
+            if cell.is_empty() {
+                cell.push('.');
+            }
+            cell
+        })
+        .collect();
+
+    // Pad cells to equal width for alignment.
+    let width = cells.iter().map(String::len).max().unwrap_or(1);
+    for cell in &mut cells {
+        while cell.len() < width {
+            cell.push(' ');
+        }
+    }
+
+    let mut line = format!("r{:>4} ", record.round);
+    for (i, cell) in cells.iter().enumerate() {
+        line.push('[');
+        line.push_str(cell);
+        line.push(']');
+        let edge_missing = record.missing_edge.is_some_and(|e| e.index() == i);
+        line.push(if edge_missing { 'x' } else { '-' });
+    }
+    line.push_str(&format!(" visited={}", record.visited_count));
+    line
+}
+
+/// Renders a whole trace, one line per round (optionally subsampled to at
+/// most `max_lines` lines).
+#[must_use]
+pub fn render_trace(ring: &RingTopology, trace: &Trace, max_lines: usize) -> String {
+    let rounds = trace.rounds();
+    if rounds.is_empty() {
+        return String::from("(empty trace)");
+    }
+    let stride = (rounds.len() / max_lines.max(1)).max(1);
+    let mut out = String::new();
+    for (i, record) in rounds.iter().enumerate() {
+        if i % stride == 0 || i + 1 == rounds.len() {
+            out.push_str(&render_round(ring, record));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// A compact description of an agent's journey: the sequence of nodes visited
+/// (with repeats collapsed).
+#[must_use]
+pub fn render_journey(trace: &Trace, agent_index: usize) -> String {
+    let mut journey: Vec<NodeId> = Vec::new();
+    for record in trace.rounds() {
+        if let Some(agent) = record.agents.get(agent_index) {
+            if journey.last() != Some(&agent.node_after) {
+                journey.push(agent.node_after);
+            }
+        }
+    }
+    journey.iter().map(ToString::to_string).collect::<Vec<_>>().join(" → ")
+}
+
+/// Human-readable label for a direction of travel (used in reports).
+#[must_use]
+pub fn direction_label(dir: GlobalDirection) -> &'static str {
+    match dir {
+        GlobalDirection::Ccw => "counter-clockwise",
+        GlobalDirection::Cw => "clockwise",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::AgentRoundRecord;
+    use dynring_graph::{AgentId, EdgeId};
+    use dynring_model::PriorOutcome;
+
+    fn sample_trace() -> (RingTopology, Trace) {
+        let ring = RingTopology::with_landmark(5, NodeId::new(0)).unwrap();
+        let mut trace = Trace::new();
+        trace.push(RoundRecord {
+            round: 1,
+            missing_edge: Some(EdgeId::new(2)),
+            active: vec![AgentId::new(0), AgentId::new(1)],
+            agents: vec![
+                AgentRoundRecord {
+                    id: AgentId::new(0),
+                    active: true,
+                    node_before: NodeId::new(0),
+                    node_after: NodeId::new(1),
+                    held_port_after: None,
+                    decision: None,
+                    outcome: PriorOutcome::Moved,
+                    terminated: false,
+                    state_label: String::new(),
+                },
+                AgentRoundRecord {
+                    id: AgentId::new(1),
+                    active: true,
+                    node_before: NodeId::new(3),
+                    node_after: NodeId::new(3),
+                    held_port_after: Some(GlobalDirection::Ccw),
+                    decision: None,
+                    outcome: PriorOutcome::BlockedOnPort,
+                    terminated: false,
+                    state_label: String::new(),
+                },
+            ],
+            visited_count: 3,
+        });
+        (ring, trace)
+    }
+
+    #[test]
+    fn round_rendering_contains_agents_landmark_and_missing_edge() {
+        let (ring, trace) = sample_trace();
+        let line = render_round(&ring, &trace.rounds()[0]);
+        assert!(line.contains('A'), "agent 0 in a node: {line}");
+        assert!(line.contains('b'), "agent 1 waiting on a port: {line}");
+        assert!(line.contains('*'), "landmark marker: {line}");
+        assert!(line.contains('x'), "missing edge marker: {line}");
+        assert!(line.contains("visited=3"));
+    }
+
+    #[test]
+    fn trace_rendering_emits_one_line_per_round() {
+        let (ring, trace) = sample_trace();
+        let text = render_trace(&ring, &trace, 10);
+        assert_eq!(text.lines().count(), 1);
+        assert_eq!(render_trace(&ring, &Trace::new(), 10), "(empty trace)");
+    }
+
+    #[test]
+    fn journey_collapses_repeats() {
+        let (_, trace) = sample_trace();
+        assert_eq!(render_journey(&trace, 0), "v1");
+        assert_eq!(render_journey(&trace, 1), "v3");
+    }
+
+    #[test]
+    fn direction_labels() {
+        assert_eq!(direction_label(GlobalDirection::Ccw), "counter-clockwise");
+        assert_eq!(direction_label(GlobalDirection::Cw), "clockwise");
+    }
+}

@@ -1,0 +1,365 @@
+//! Activation policies: who is active in each round.
+//!
+//! Under FSYNC every agent is active in every round ([`FullActivation`]).
+//! Under SSYNC the choice is adversarial, constrained only by being non-empty
+//! and activating every agent infinitely often. This module provides the fair
+//! and adversarial schedulers used across the experiments:
+//!
+//! * [`FullActivation`] — FSYNC;
+//! * [`RoundRobinSingle`] — exactly one agent per round, in rotation (a fair
+//!   but maximally sequential SSYNC schedule);
+//! * [`RandomSubset`] — each agent active independently with probability `p`
+//!   (re-drawn until non-empty);
+//! * [`AlternateBlocked`] — keeps agents waiting on ports asleep as long as
+//!   allowed, activating the others (used to stress PT/ET algorithms);
+//! * [`FirstMoverOnly`] — the Theorem 9 adversary's activation rule: activate
+//!   all agents that would *not* move plus the single would-be mover that has
+//!   been passive the longest;
+//! * [`EtFairness`] — a wrapper enforcing the ET condition: an agent that has
+//!   slept on a port for `max_lag` consecutive rounds is forcibly activated.
+
+use crate::world::RoundView;
+use dynring_graph::AgentId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Chooses the set of active agents for the next round.
+///
+/// The returned set is sanitised by the engine: terminated agents are
+/// removed, duplicates are dropped, and an empty result activates every
+/// non-terminated agent (the adversary must activate someone).
+pub trait ActivationPolicy: Send {
+    /// A short name for traces and reports.
+    fn name(&self) -> &'static str;
+
+    /// Selects the agents to activate, given the adversary-visible view.
+    fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId>;
+}
+
+/// FSYNC: everyone is active in every round.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FullActivation;
+
+impl ActivationPolicy for FullActivation {
+    fn name(&self) -> &'static str {
+        "fsync"
+    }
+
+    fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
+        view.alive().map(|a| a.id).collect()
+    }
+}
+
+/// Activates exactly one non-terminated agent per round, rotating through
+/// them; every agent is activated infinitely often.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobinSingle {
+    cursor: usize,
+}
+
+impl RoundRobinSingle {
+    /// Creates the scheduler starting from the first agent.
+    #[must_use]
+    pub fn new() -> Self {
+        RoundRobinSingle { cursor: 0 }
+    }
+}
+
+impl ActivationPolicy for RoundRobinSingle {
+    fn name(&self) -> &'static str {
+        "round-robin-single"
+    }
+
+    fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
+        let alive: Vec<AgentId> = view.alive().map(|a| a.id).collect();
+        if alive.is_empty() {
+            return Vec::new();
+        }
+        let pick = alive[self.cursor % alive.len()];
+        self.cursor = self.cursor.wrapping_add(1);
+        vec![pick]
+    }
+}
+
+/// Activates each agent independently with probability `p`; re-draws until
+/// the set is non-empty. Deterministic for a given seed.
+#[derive(Debug, Clone)]
+pub struct RandomSubset {
+    probability: f64,
+    rng: StdRng,
+}
+
+impl RandomSubset {
+    /// Creates the scheduler with the given per-agent activation probability
+    /// (clamped to `[0.05, 1.0]`) and RNG seed.
+    #[must_use]
+    pub fn new(probability: f64, seed: u64) -> Self {
+        RandomSubset { probability: probability.clamp(0.05, 1.0), rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl ActivationPolicy for RandomSubset {
+    fn name(&self) -> &'static str {
+        "random-subset"
+    }
+
+    fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
+        let alive: Vec<AgentId> = view.alive().map(|a| a.id).collect();
+        if alive.is_empty() {
+            return Vec::new();
+        }
+        for _ in 0..64 {
+            let chosen: Vec<AgentId> =
+                alive.iter().copied().filter(|_| self.rng.gen_bool(self.probability)).collect();
+            if !chosen.is_empty() {
+                return chosen;
+            }
+        }
+        alive
+    }
+}
+
+/// Keeps agents that are waiting on a port asleep for as long as `max_hold`
+/// rounds while activating everyone else; used to exercise the PT transport
+/// rule (a sleeping agent is carried across when the edge reappears).
+#[derive(Debug, Clone, Copy)]
+pub struct AlternateBlocked {
+    max_hold: u64,
+}
+
+impl AlternateBlocked {
+    /// Creates the scheduler; agents waiting on a port stay asleep for at
+    /// most `max_hold` consecutive rounds.
+    #[must_use]
+    pub fn new(max_hold: u64) -> Self {
+        AlternateBlocked { max_hold: max_hold.max(1) }
+    }
+}
+
+impl ActivationPolicy for AlternateBlocked {
+    fn name(&self) -> &'static str {
+        "sleep-blocked"
+    }
+
+    fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
+        let mut chosen: Vec<AgentId> = view
+            .alive()
+            .filter(|a| a.held_port.is_none() || a.asleep_on_port >= self.max_hold)
+            .map(|a| a.id)
+            .collect();
+        if chosen.is_empty() {
+            chosen = view.alive().map(|a| a.id).collect();
+        }
+        chosen
+    }
+}
+
+/// The activation rule of the Theorem 9 (NS impossibility) adversary:
+/// activate every agent that would *not* move, plus the single would-be mover
+/// that has been passive the longest (ties broken by id). Combined with
+/// [`crate::adversary::BlockFirstMover`], no agent ever moves, yet every
+/// agent is activated infinitely often.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FirstMoverOnly;
+
+impl ActivationPolicy for FirstMoverOnly {
+    fn name(&self) -> &'static str {
+        "first-mover-only"
+    }
+
+    fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
+        let mut chosen: Vec<AgentId> =
+            view.alive().filter(|a| !a.predicted.is_move()).map(|a| a.id).collect();
+        let first_mover = view
+            .alive()
+            .filter(|a| a.predicted.is_move())
+            .min_by_key(|a| (a.last_active_round, a.id));
+        if let Some(mover) = first_mover {
+            chosen.push(mover.id);
+        }
+        chosen
+    }
+}
+
+/// Wrapper enforcing the Eventual Transport fairness condition on top of any
+/// inner policy: an agent that has been asleep on a port for at least
+/// `max_lag` consecutive rounds is forcibly added to the active set.
+///
+/// With `max_lag = 0` every agent currently holding a port is activated in
+/// every round, which guarantees the ET condition against *any* edge
+/// adversary (the agent crosses in the first round its edge is present); a
+/// positive lag leaves the adversary more room but only satisfies the ET
+/// condition against adversaries whose blocking pattern is not synchronised
+/// with the lag.
+pub struct EtFairness {
+    inner: Box<dyn ActivationPolicy>,
+    max_lag: u64,
+}
+
+impl std::fmt::Debug for EtFairness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EtFairness")
+            .field("inner", &self.inner.name())
+            .field("max_lag", &self.max_lag)
+            .finish()
+    }
+}
+
+impl EtFairness {
+    /// Wraps `inner`, forcing activation after `max_lag` rounds asleep on a
+    /// port (`0` = activate every port holder in every round).
+    #[must_use]
+    pub fn new(inner: Box<dyn ActivationPolicy>, max_lag: u64) -> Self {
+        EtFairness { inner, max_lag }
+    }
+}
+
+impl ActivationPolicy for EtFairness {
+    fn name(&self) -> &'static str {
+        "et-fair"
+    }
+
+    fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
+        let mut chosen = self.inner.select(view);
+        for agent in view.alive() {
+            if agent.held_port.is_some()
+                && agent.asleep_on_port >= self.max_lag
+                && !chosen.contains(&agent.id)
+            {
+                chosen.push(agent.id);
+            }
+        }
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::{AgentView, PredictedAction};
+    use dynring_graph::{EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
+
+    fn agent_view(id: usize, moves: bool, last_active: u64, asleep: u64) -> AgentView {
+        AgentView {
+            id: AgentId::new(id),
+            node: NodeId::new(0),
+            held_port: if asleep > 0 { Some(GlobalDirection::Ccw) } else { None },
+            terminated: false,
+            handedness: Handedness::LeftIsCcw,
+            predicted: if moves {
+                PredictedAction::Move { edge: EdgeId::new(0), direction: GlobalDirection::Ccw }
+            } else {
+                PredictedAction::Stay
+            },
+            last_active_round: last_active,
+            asleep_on_port: asleep,
+            moves: 0,
+            state_label: String::new(),
+        }
+    }
+
+    fn view<'a>(ring: &'a RingTopology, visited: &'a [bool], agents: Vec<AgentView>) -> RoundView<'a> {
+        RoundView { round: 1, ring, agents, visited }
+    }
+
+    #[test]
+    fn full_activation_selects_everyone_alive() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let mut agents = vec![agent_view(0, true, 0, 0), agent_view(1, false, 0, 0)];
+        agents[1].terminated = true;
+        let v = view(&ring, &visited, agents);
+        assert_eq!(FullActivation.select(&v), vec![AgentId::new(0)]);
+    }
+
+    #[test]
+    fn round_robin_cycles_through_agents() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let agents = vec![agent_view(0, true, 0, 0), agent_view(1, true, 0, 0), agent_view(2, true, 0, 0)];
+        let v = view(&ring, &visited, agents);
+        let mut rr = RoundRobinSingle::new();
+        let picks: Vec<_> = (0..6).map(|_| rr.select(&v)[0].index()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn random_subset_is_never_empty_and_deterministic_per_seed() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let agents = vec![agent_view(0, true, 0, 0), agent_view(1, true, 0, 0)];
+        let v = view(&ring, &visited, agents);
+        let mut a = RandomSubset::new(0.3, 42);
+        let mut b = RandomSubset::new(0.3, 42);
+        for _ in 0..50 {
+            let sa = a.select(&v);
+            let sb = b.select(&v);
+            assert!(!sa.is_empty());
+            assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn first_mover_only_activates_non_movers_plus_oldest_mover() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let agents = vec![
+            agent_view(0, true, 5, 0),
+            agent_view(1, true, 2, 0), // mover, passive the longest
+            agent_view(2, false, 9, 0),
+        ];
+        let v = view(&ring, &visited, agents);
+        let mut p = FirstMoverOnly;
+        let chosen = p.select(&v);
+        assert!(chosen.contains(&AgentId::new(2)));
+        assert!(chosen.contains(&AgentId::new(1)));
+        assert!(!chosen.contains(&AgentId::new(0)));
+    }
+
+    #[test]
+    fn et_fairness_forces_long_sleepers_awake() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let agents = vec![agent_view(0, true, 0, 0), agent_view(1, true, 0, 7)];
+        let v = view(&ring, &visited, agents);
+        // Inner policy that always picks agent 0 only.
+        #[derive(Debug)]
+        struct OnlyZero;
+        impl ActivationPolicy for OnlyZero {
+            fn name(&self) -> &'static str {
+                "only-zero"
+            }
+            fn select(&mut self, _view: &RoundView<'_>) -> Vec<AgentId> {
+                vec![AgentId::new(0)]
+            }
+        }
+        let mut p = EtFairness::new(Box::new(OnlyZero), 5);
+        let chosen = p.select(&v);
+        assert!(chosen.contains(&AgentId::new(0)));
+        assert!(chosen.contains(&AgentId::new(1)), "sleeper past the lag must be woken");
+    }
+
+    #[test]
+    fn alternate_blocked_keeps_port_waiters_asleep() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let agents = vec![agent_view(0, true, 0, 2), agent_view(1, true, 0, 0)];
+        let v = view(&ring, &visited, agents);
+        let mut p = AlternateBlocked::new(10);
+        assert_eq!(p.select(&v), vec![AgentId::new(1)]);
+        // Once the sleeper exceeds the holding limit it is activated again.
+        let agents = vec![agent_view(0, true, 0, 12), agent_view(1, true, 0, 0)];
+        let v = view(&ring, &visited, agents);
+        let chosen = p.select(&v);
+        assert!(chosen.contains(&AgentId::new(0)));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FullActivation.name(), "fsync");
+        assert_eq!(RoundRobinSingle::new().name(), "round-robin-single");
+        assert_eq!(RandomSubset::new(0.5, 1).name(), "random-subset");
+        assert_eq!(FirstMoverOnly.name(), "first-mover-only");
+        assert_eq!(AlternateBlocked::new(3).name(), "sleep-blocked");
+    }
+}

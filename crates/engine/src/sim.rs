@@ -1,0 +1,788 @@
+//! The round loop: Look–Compute–Move against an adversary.
+
+use crate::adversary::EdgePolicy;
+use crate::error::EngineError;
+use crate::scheduler::ActivationPolicy;
+use crate::trace::{AgentRoundRecord, RoundRecord, Trace};
+use crate::world::{build_snapshot, predict_action, AgentRuntime, AgentView, RoundView};
+use dynring_graph::{AgentId, EdgeId, Handedness, NodeId, RingTopology};
+use dynring_model::{Decision, PriorOutcome, Protocol, SynchronyModel, TransportModel};
+use serde::{Deserialize, Serialize};
+
+/// When a run should stop (besides exhausting the round budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StopCondition {
+    /// Stop as soon as every node has been visited.
+    Explored,
+    /// Stop as soon as every node has been visited **and** at least one agent
+    /// has terminated.
+    ExploredAndPartialTermination,
+    /// Stop as soon as every agent has terminated (also stops if the ring is
+    /// explored and no agent can ever terminate — i.e. never, so use a round
+    /// budget).
+    AllTerminated,
+    /// Run for the full round budget regardless.
+    RoundBudget,
+}
+
+/// Why a run ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StopReason {
+    /// The stop condition was met.
+    ConditionMet,
+    /// The round budget was exhausted.
+    BudgetExhausted,
+    /// Every agent terminated (nothing left to simulate).
+    Deadlocked,
+}
+
+/// Summary of a finished run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Number of rounds simulated.
+    pub rounds: u64,
+    /// Ring size.
+    pub ring_size: usize,
+    /// Round in which the last unvisited node was first visited, if any.
+    pub explored_at: Option<u64>,
+    /// Number of distinct nodes visited by the union of the agents.
+    pub visited_count: usize,
+    /// Per-agent termination rounds (same order as the agents were added).
+    pub termination_rounds: Vec<Option<u64>>,
+    /// Whether every agent terminated.
+    pub all_terminated: bool,
+    /// Per-agent number of successful traversals.
+    pub moves_per_agent: Vec<u64>,
+    /// Per-agent number of distinct nodes visited.
+    pub visited_per_agent: Vec<usize>,
+    /// Total number of successful traversals.
+    pub total_moves: u64,
+    /// Why the run stopped.
+    pub stop_reason: StopReason,
+}
+
+impl RunReport {
+    /// Whether the whole ring was explored.
+    #[must_use]
+    pub fn explored(&self) -> bool {
+        self.explored_at.is_some()
+    }
+
+    /// Round of the earliest explicit termination, if any.
+    #[must_use]
+    pub fn first_termination(&self) -> Option<u64> {
+        self.termination_rounds.iter().flatten().min().copied()
+    }
+
+    /// Round of the latest explicit termination, if all agents terminated.
+    #[must_use]
+    pub fn last_termination(&self) -> Option<u64> {
+        if self.all_terminated {
+            self.termination_rounds.iter().flatten().max().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Whether at least one agent terminated.
+    #[must_use]
+    pub fn partially_terminated(&self) -> bool {
+        self.termination_rounds.iter().any(Option::is_some)
+    }
+}
+
+/// Builder for a [`Simulation`].
+pub struct SimulationBuilder {
+    ring: RingTopology,
+    synchrony: SynchronyModel,
+    agents: Vec<(NodeId, Handedness, Box<dyn Protocol>)>,
+    activation: Option<Box<dyn ActivationPolicy>>,
+    edges: Option<Box<dyn EdgePolicy>>,
+    record_trace: bool,
+}
+
+impl SimulationBuilder {
+    /// Declares the synchrony model (FSYNC by default).
+    #[must_use]
+    pub fn synchrony(mut self, synchrony: SynchronyModel) -> Self {
+        self.synchrony = synchrony;
+        self
+    }
+
+    /// Adds an agent with its start node, private orientation and protocol.
+    #[must_use]
+    pub fn agent(
+        mut self,
+        start: NodeId,
+        handedness: Handedness,
+        protocol: Box<dyn Protocol>,
+    ) -> Self {
+        self.agents.push((start, handedness, protocol));
+        self
+    }
+
+    /// Sets the activation policy (scheduler).
+    #[must_use]
+    pub fn activation(mut self, policy: Box<dyn ActivationPolicy>) -> Self {
+        self.activation = Some(policy);
+        self
+    }
+
+    /// Sets the edge-removal policy (dynamics adversary).
+    #[must_use]
+    pub fn edges(mut self, policy: Box<dyn EdgePolicy>) -> Self {
+        self.edges = Some(policy);
+        self
+    }
+
+    /// Enables or disables per-round trace recording (disabled by default).
+    #[must_use]
+    pub fn record_trace(mut self, record: bool) -> Self {
+        self.record_trace = record;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if no agents were declared, an agent starts outside the ring, or
+    /// a policy is missing.
+    pub fn build(self) -> Result<Simulation, EngineError> {
+        if self.agents.is_empty() {
+            return Err(EngineError::NoAgents);
+        }
+        let activation =
+            self.activation.ok_or(EngineError::MissingPolicy { which: "activation" })?;
+        let edges = self.edges.ok_or(EngineError::MissingPolicy { which: "edges" })?;
+        let ring_size = self.ring.size();
+        let mut runtimes = Vec::with_capacity(self.agents.len());
+        for (index, (start, handedness, protocol)) in self.agents.into_iter().enumerate() {
+            if start.index() >= ring_size {
+                return Err(EngineError::StartOutOfRange {
+                    agent: AgentId::new(index),
+                    node: start,
+                    ring_size,
+                });
+            }
+            runtimes.push(AgentRuntime::new(
+                AgentId::new(index),
+                start,
+                handedness,
+                protocol,
+                ring_size,
+            ));
+        }
+        let mut visited = vec![false; ring_size];
+        for agent in &runtimes {
+            visited[agent.node.index()] = true;
+        }
+        Ok(Simulation {
+            ring: self.ring,
+            synchrony: self.synchrony,
+            agents: runtimes,
+            visited,
+            round: 0,
+            activation,
+            edges,
+            trace: if self.record_trace { Some(Trace::new()) } else { None },
+            explored_at: None,
+        })
+    }
+}
+
+/// Builds the adversary-visible view of the upcoming round from the world
+/// state. A free function so that the simulation can keep its policy fields
+/// mutably borrowable while the view is alive.
+fn build_round_view<'a>(
+    ring: &'a RingTopology,
+    agents: &[AgentRuntime],
+    visited: &'a [bool],
+    round: u64,
+    fsync: bool,
+) -> RoundView<'a> {
+    let mut views = Vec::with_capacity(agents.len());
+    for (index, agent) in agents.iter().enumerate() {
+        let predicted = if agent.terminated {
+            crate::world::PredictedAction::Terminate
+        } else {
+            let snapshot = build_snapshot(ring, agents, index, round, fsync);
+            let mut probe = agent.protocol.clone_box();
+            predict_action(ring, agent, probe.decide(&snapshot))
+        };
+        views.push(AgentView {
+            id: agent.id,
+            node: agent.node,
+            held_port: agent.held_port,
+            terminated: agent.terminated,
+            handedness: agent.handedness,
+            predicted,
+            last_active_round: agent.last_active_round,
+            asleep_on_port: agent.asleep_on_port,
+            moves: agent.moves,
+            state_label: agent.protocol.state_label(),
+        });
+    }
+    RoundView { round, ring, agents: views, visited }
+}
+
+/// A live simulation of agents exploring a dynamic ring.
+pub struct Simulation {
+    ring: RingTopology,
+    synchrony: SynchronyModel,
+    agents: Vec<AgentRuntime>,
+    visited: Vec<bool>,
+    round: u64,
+    activation: Box<dyn ActivationPolicy>,
+    edges: Box<dyn EdgePolicy>,
+    trace: Option<Trace>,
+    explored_at: Option<u64>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("ring_size", &self.ring.size())
+            .field("round", &self.round)
+            .field("agents", &self.agents.len())
+            .field("visited", &self.visited_count())
+            .field("synchrony", &self.synchrony)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Starts building a simulation on the given ring.
+    #[must_use]
+    pub fn builder(ring: RingTopology) -> SimulationBuilder {
+        SimulationBuilder {
+            ring,
+            synchrony: SynchronyModel::Fsync,
+            agents: Vec::new(),
+            activation: None,
+            edges: None,
+            record_trace: false,
+        }
+    }
+
+    /// The ring being explored.
+    #[must_use]
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// Number of rounds simulated so far.
+    #[must_use]
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// The recorded trace, if trace recording was enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Number of distinct nodes visited by the union of the agents.
+    #[must_use]
+    pub fn visited_count(&self) -> usize {
+        self.visited.iter().filter(|v| **v).count()
+    }
+
+    /// Whether every node has been visited.
+    #[must_use]
+    pub fn explored(&self) -> bool {
+        self.explored_at.is_some()
+    }
+
+    /// The round in which exploration completed, if it did.
+    #[must_use]
+    pub fn explored_at(&self) -> Option<u64> {
+        self.explored_at
+    }
+
+    /// Whether every agent has terminated.
+    #[must_use]
+    pub fn all_terminated(&self) -> bool {
+        self.agents.iter().all(|a| a.terminated)
+    }
+
+    /// Current node of each agent, in agent order (for tests and rendering).
+    #[must_use]
+    pub fn positions(&self) -> Vec<NodeId> {
+        self.agents.iter().map(|a| a.node).collect()
+    }
+
+    /// Per-agent termination rounds.
+    #[must_use]
+    pub fn termination_rounds(&self) -> Vec<Option<u64>> {
+        self.agents.iter().map(|a| a.terminated_at).collect()
+    }
+
+    /// Per-agent traversal counts.
+    #[must_use]
+    pub fn moves_per_agent(&self) -> Vec<u64> {
+        self.agents.iter().map(|a| a.moves).collect()
+    }
+
+    fn mark_visited(visited: &mut [bool], agent: &mut AgentRuntime) {
+        visited[agent.node.index()] = true;
+        agent.visited[agent.node.index()] = true;
+    }
+
+    /// Plays one round. Returns `false` if there was nothing to do (every
+    /// agent has terminated).
+    pub fn step(&mut self) -> bool {
+        if self.agents.iter().all(|a| a.terminated) {
+            return false;
+        }
+        let round = self.round + 1;
+        self.round = round;
+        let fsync = self.synchrony.is_fsync();
+
+        // 1. Activation choice. The view borrows only the ring, agents and
+        // visited fields, so the policy fields stay free for mutation.
+        let view = build_round_view(&self.ring, &self.agents, &self.visited, round, fsync);
+        let mut active: Vec<AgentId> = if fsync {
+            view.alive().map(|a| a.id).collect()
+        } else {
+            let mut chosen = self.activation.select(&view);
+            chosen.retain(|id| {
+                self.agents.get(id.index()).is_some_and(|a| !a.terminated)
+            });
+            chosen.sort_unstable();
+            chosen.dedup();
+            if chosen.is_empty() {
+                view.alive().map(|a| a.id).collect()
+            } else {
+                chosen
+            }
+        };
+        active.sort_unstable();
+
+        // 2. Edge adversary (may inspect predicted intents and the active set).
+        let missing = self.edges.select(&view, &active).filter(|e| e.index() < self.ring.size());
+        drop(view);
+
+        // 3. Look + Compute for active agents, in id order.
+        let mut decisions: Vec<Option<Decision>> = vec![None; self.agents.len()];
+        for id in &active {
+            let index = id.index();
+            let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
+            let decision = self.agents[index].protocol.decide(&snapshot);
+            decisions[index] = Some(decision);
+        }
+
+        // Keep the start-of-round nodes for the trace.
+        let nodes_before: Vec<NodeId> = self.agents.iter().map(|a| a.node).collect();
+
+        // Ports denied for the whole round: every port already held at the
+        // start of the round plus every port acquired during it ("access to
+        // the port continues to be denied … during this round").
+        let mut claimed: std::collections::HashSet<(NodeId, dynring_graph::GlobalDirection)> =
+            self.agents
+                .iter()
+                .filter_map(|a| a.held_port.map(|p| (a.node, p)))
+                .collect();
+
+        // 4. Resolution: port acquisition in mutual exclusion, then moves.
+        for index in 0..self.agents.len() {
+            let Some(decision) = decisions[index] else { continue };
+            match decision {
+                Decision::Terminate => {
+                    let agent = &mut self.agents[index];
+                    agent.terminated = true;
+                    agent.terminated_at = Some(round);
+                    agent.held_port = None;
+                    agent.prior = PriorOutcome::Idle;
+                }
+                Decision::Stay => {
+                    self.agents[index].prior = PriorOutcome::Idle;
+                }
+                Decision::Retreat => {
+                    let agent = &mut self.agents[index];
+                    agent.held_port = None;
+                    agent.prior = PriorOutcome::Idle;
+                }
+                Decision::Move(ldir) => {
+                    let gdir = self.agents[index].to_global(ldir);
+                    let node = self.agents[index].node;
+                    let already_held = self.agents[index].held_port == Some(gdir);
+                    if !already_held {
+                        // Release any other port first, then try to acquire.
+                        // The target port must not have been held or claimed
+                        // by anyone else this round (mutual exclusion).
+                        let occupied = claimed.contains(&(node, gdir));
+                        let agent = &mut self.agents[index];
+                        agent.held_port = None;
+                        if occupied {
+                            agent.prior = PriorOutcome::PortAcquisitionFailed;
+                            continue;
+                        }
+                        agent.held_port = Some(gdir);
+                        claimed.insert((node, gdir));
+                    }
+                    // Attempt the traversal.
+                    let edge = self.ring.edge_towards(node, gdir);
+                    if missing == Some(edge) {
+                        self.agents[index].prior = PriorOutcome::BlockedOnPort;
+                    } else {
+                        let destination = self.ring.neighbor(node, gdir);
+                        let agent = &mut self.agents[index];
+                        agent.node = destination;
+                        agent.held_port = None;
+                        agent.prior = PriorOutcome::Moved;
+                        agent.moves += 1;
+                        Self::mark_visited(&mut self.visited, agent);
+                    }
+                }
+            }
+            // A protocol may flag termination without returning `Terminate`
+            // (defensive; none of the paper's algorithms do).
+            if self.agents[index].protocol.has_terminated() && !self.agents[index].terminated {
+                let agent = &mut self.agents[index];
+                agent.terminated = true;
+                agent.terminated_at = Some(round);
+                agent.held_port = None;
+            }
+        }
+
+        // 5. Passive transport of sleeping agents (PT model only).
+        if self.synchrony.transport() == Some(TransportModel::PassiveTransport) {
+            for index in 0..self.agents.len() {
+                let is_active = active.contains(&AgentId::new(index));
+                let agent = &self.agents[index];
+                if is_active || agent.terminated {
+                    continue;
+                }
+                if let Some(gdir) = agent.held_port {
+                    let edge = self.ring.edge_towards(agent.node, gdir);
+                    if missing != Some(edge) {
+                        let destination = self.ring.neighbor(agent.node, gdir);
+                        let agent = &mut self.agents[index];
+                        agent.node = destination;
+                        agent.held_port = None;
+                        agent.prior = PriorOutcome::Transported;
+                        agent.moves += 1;
+                        Self::mark_visited(&mut self.visited, agent);
+                    }
+                }
+            }
+        }
+
+        // 6. Bookkeeping: activation ages, sleep counters, exploration round.
+        for index in 0..self.agents.len() {
+            let is_active = active.contains(&AgentId::new(index));
+            let agent = &mut self.agents[index];
+            if is_active {
+                agent.activations += 1;
+                agent.last_active_round = round;
+                agent.asleep_on_port = 0;
+            } else if agent.held_port.is_some() {
+                agent.asleep_on_port += 1;
+            } else {
+                agent.asleep_on_port = 0;
+            }
+        }
+        if self.explored_at.is_none() && self.visited.iter().all(|v| *v) {
+            self.explored_at = Some(round);
+        }
+
+        // 7. Trace recording.
+        if self.trace.is_some() {
+            let visited_count = self.visited_count();
+            let records: Vec<AgentRoundRecord> = self
+                .agents
+                .iter()
+                .enumerate()
+                .map(|(index, agent)| AgentRoundRecord {
+                    id: agent.id,
+                    active: active.contains(&agent.id),
+                    node_before: nodes_before[index],
+                    node_after: agent.node,
+                    held_port_after: agent.held_port,
+                    decision: decisions[index],
+                    outcome: agent.prior,
+                    terminated: agent.terminated,
+                    state_label: agent.protocol.state_label(),
+                })
+                .collect();
+            if let Some(trace) = self.trace.as_mut() {
+                trace.push(RoundRecord {
+                    round,
+                    missing_edge: missing,
+                    active,
+                    agents: records,
+                    visited_count,
+                });
+            }
+        }
+        true
+    }
+
+    /// Runs until the stop condition holds or `max_rounds` rounds have been
+    /// simulated, and summarises the execution.
+    pub fn run(&mut self, max_rounds: u64, stop: StopCondition) -> RunReport {
+        let mut reason = StopReason::BudgetExhausted;
+        for _ in 0..max_rounds {
+            if self.stop_condition_met(stop) {
+                reason = StopReason::ConditionMet;
+                break;
+            }
+            if !self.step() {
+                reason = StopReason::Deadlocked;
+                break;
+            }
+        }
+        if reason == StopReason::BudgetExhausted && self.stop_condition_met(stop) {
+            reason = StopReason::ConditionMet;
+        }
+        self.report(reason)
+    }
+
+    fn stop_condition_met(&self, stop: StopCondition) -> bool {
+        match stop {
+            StopCondition::Explored => self.explored(),
+            StopCondition::ExploredAndPartialTermination => {
+                self.explored() && self.agents.iter().any(|a| a.terminated)
+            }
+            StopCondition::AllTerminated => self.all_terminated(),
+            StopCondition::RoundBudget => false,
+        }
+    }
+
+    /// Builds the report for the current state of the simulation.
+    #[must_use]
+    pub fn report(&self, stop_reason: StopReason) -> RunReport {
+        RunReport {
+            rounds: self.round,
+            ring_size: self.ring.size(),
+            explored_at: self.explored_at,
+            visited_count: self.visited_count(),
+            termination_rounds: self.termination_rounds(),
+            all_terminated: self.all_terminated(),
+            moves_per_agent: self.moves_per_agent(),
+            visited_per_agent: self.agents.iter().map(AgentRuntime::visited_count).collect(),
+            total_moves: self.agents.iter().map(|a| a.moves).sum(),
+            stop_reason,
+        }
+    }
+
+    /// Immutable view of the upcoming round for external inspection (used by
+    /// the renderer and by tests).
+    #[must_use]
+    pub fn peek(&self) -> RoundView<'_> {
+        build_round_view(
+            &self.ring,
+            &self.agents,
+            &self.visited,
+            self.round + 1,
+            self.synchrony.is_fsync(),
+        )
+    }
+
+    /// Validates the adversary's last choice against the ring (exposed for
+    /// property tests; the engine already filters invalid edges).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::AdversaryEdgeOutOfRange`] when the edge does not
+    /// exist.
+    pub fn validate_edge_choice(&self, edge: Option<EdgeId>) -> Result<(), EngineError> {
+        match edge {
+            Some(e) if e.index() >= self.ring.size() => {
+                Err(EngineError::AdversaryEdgeOutOfRange { edge: e, ring_size: self.ring.size() })
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{BlockAgent, NoRemoval, PreventMeeting};
+    use crate::scheduler::{FullActivation, RoundRobinSingle};
+    use dynring_core::fsync::{KnownBound, Unconscious};
+    use dynring_core::single::LoneWalker;
+    use dynring_core::ssync::PtBoundChirality;
+
+    fn fsync_sim(
+        n: usize,
+        starts: &[usize],
+        protos: Vec<Box<dyn Protocol>>,
+        edges: Box<dyn EdgePolicy>,
+    ) -> Simulation {
+        let ring = RingTopology::new(n).unwrap();
+        let mut builder = Simulation::builder(ring)
+            .synchrony(SynchronyModel::Fsync)
+            .activation(Box::new(FullActivation))
+            .edges(edges)
+            .record_trace(true);
+        for (start, proto) in starts.iter().zip(protos) {
+            builder = builder.agent(NodeId::new(*start), Handedness::LeftIsCcw, proto);
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn builder_rejects_empty_scenarios_and_bad_starts() {
+        let ring = RingTopology::new(4).unwrap();
+        let err = Simulation::builder(ring.clone())
+            .activation(Box::new(FullActivation))
+            .edges(Box::new(NoRemoval))
+            .build()
+            .unwrap_err();
+        assert_eq!(err, EngineError::NoAgents);
+
+        let err = Simulation::builder(ring.clone())
+            .agent(NodeId::new(9), Handedness::LeftIsCcw, Box::new(LoneWalker::new(0)))
+            .activation(Box::new(FullActivation))
+            .edges(Box::new(NoRemoval))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::StartOutOfRange { .. }));
+
+        let err = Simulation::builder(ring)
+            .agent(NodeId::new(0), Handedness::LeftIsCcw, Box::new(LoneWalker::new(0)))
+            .edges(Box::new(NoRemoval))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, EngineError::MissingPolicy { which: "activation" }));
+    }
+
+    #[test]
+    fn two_known_bound_agents_explore_and_terminate_on_a_static_ring() {
+        let n = 8;
+        let mut sim = fsync_sim(
+            n,
+            &[0, 3],
+            vec![Box::new(KnownBound::new(n)), Box::new(KnownBound::new(n))],
+            Box::new(NoRemoval),
+        );
+        let report = sim.run(200, StopCondition::AllTerminated);
+        assert!(report.explored());
+        assert!(report.all_terminated);
+        // Theorem 3: termination within 3N - 6 rounds (plus the terminating
+        // decision round itself).
+        let deadline = 3 * n as u64 - 6 + 1;
+        assert!(report.last_termination().unwrap() <= deadline);
+        sim.trace().unwrap().check_invariants(n).unwrap();
+    }
+
+    #[test]
+    fn a_single_agent_never_explores_against_its_blocker() {
+        let n = 6;
+        let mut sim = fsync_sim(
+            n,
+            &[2],
+            vec![Box::new(LoneWalker::new(3))],
+            Box::new(BlockAgent::new(AgentId::new(0))),
+        );
+        let report = sim.run(500, StopCondition::Explored);
+        assert!(!report.explored());
+        assert_eq!(report.visited_count, 1);
+        assert_eq!(report.total_moves, 0);
+    }
+
+    #[test]
+    fn unconscious_agents_explore_despite_prevent_meeting() {
+        let n = 9;
+        let mut sim = fsync_sim(
+            n,
+            &[0, 4],
+            vec![Box::new(Unconscious::new()), Box::new(Unconscious::new())],
+            Box::new(PreventMeeting),
+        );
+        let report = sim.run(40 * n as u64, StopCondition::Explored);
+        assert!(report.explored(), "Theorem 5: exploration completes in O(n) rounds");
+        assert!(!report.all_terminated, "unconscious exploration never terminates");
+    }
+
+    #[test]
+    fn port_mutual_exclusion_lets_only_one_agent_through() {
+        // Two agents on the same node moving the same way: one acquires the
+        // port, the other reports a failed acquisition (Theorem 3's argument
+        // for agents starting on the same node).
+        let n = 5;
+        let mut sim = fsync_sim(
+            n,
+            &[0, 0],
+            vec![Box::new(KnownBound::new(n)), Box::new(KnownBound::new(n))],
+            Box::new(NoRemoval),
+        );
+        assert!(sim.step());
+        let record = &sim.trace().unwrap().rounds()[0];
+        let outcomes: Vec<PriorOutcome> = record.agents.iter().map(|a| a.outcome).collect();
+        assert!(outcomes.contains(&PriorOutcome::Moved));
+        assert!(outcomes.contains(&PriorOutcome::PortAcquisitionFailed));
+        sim.trace().unwrap().check_invariants(n).unwrap();
+    }
+
+    #[test]
+    fn ssync_round_robin_with_pt_transport_carries_sleepers() {
+        use crate::adversary::FromSchedule;
+        use dynring_graph::ScheduleBuilder;
+        // One PT agent walking left (CCW→CW depending on handedness) gets
+        // blocked, falls asleep on the port, and is carried across when the
+        // edge reappears while it is still asleep.
+        let ring = RingTopology::new(6).unwrap();
+        let schedule = ScheduleBuilder::new(&ring)
+            .remove_for(dynring_graph::EdgeId::new(5), 2)
+            .all_present_for(10)
+            .build();
+        let mut sim = Simulation::builder(ring)
+            .synchrony(SynchronyModel::Ssync(TransportModel::PassiveTransport))
+            .agent(NodeId::new(0), Handedness::LeftIsCcw, Box::new(PtBoundChirality::new(6)))
+            .agent(NodeId::new(3), Handedness::LeftIsCcw, Box::new(PtBoundChirality::new(6)))
+            .activation(Box::new(RoundRobinSingle::new()))
+            .edges(Box::new(FromSchedule::new(schedule)))
+            .record_trace(true)
+            .build()
+            .unwrap();
+        let report = sim.run(400, StopCondition::ExploredAndPartialTermination);
+        assert!(report.explored());
+        assert!(report.partially_terminated(), "Theorem 12: at least one agent terminates");
+        sim.trace().unwrap().check_invariants(6).unwrap();
+    }
+
+    #[test]
+    fn report_accessors_are_consistent() {
+        let n = 6;
+        let mut sim = fsync_sim(
+            n,
+            &[0, 2],
+            vec![Box::new(KnownBound::new(n)), Box::new(KnownBound::new(n))],
+            Box::new(NoRemoval),
+        );
+        let report = sim.run(100, StopCondition::AllTerminated);
+        assert_eq!(report.ring_size, n);
+        assert_eq!(report.moves_per_agent.len(), 2);
+        assert_eq!(report.termination_rounds.len(), 2);
+        assert!(report.first_termination().is_some());
+        assert!(report.last_termination().unwrap() >= report.first_termination().unwrap());
+        assert_eq!(
+            report.total_moves,
+            report.moves_per_agent.iter().sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn peek_exposes_predictions_without_advancing() {
+        let n = 5;
+        let sim = fsync_sim(
+            n,
+            &[0, 2],
+            vec![Box::new(KnownBound::new(n)), Box::new(KnownBound::new(n))],
+            Box::new(NoRemoval),
+        );
+        let view = sim.peek();
+        assert_eq!(view.round, 1);
+        assert_eq!(view.agents.len(), 2);
+        assert!(view.agents.iter().all(|a| a.predicted.is_move()));
+        assert_eq!(sim.round(), 0);
+        assert!(sim.validate_edge_choice(Some(EdgeId::new(9))).is_err());
+        assert!(sim.validate_edge_choice(Some(EdgeId::new(2))).is_ok());
+        assert!(sim.validate_edge_choice(None).is_ok());
+    }
+}

@@ -1,0 +1,263 @@
+//! Per-round execution records.
+//!
+//! A [`Trace`] stores, for every simulated round, which agents were active,
+//! which edge was missing, what each agent decided and what happened to it.
+//! Traces feed the ASCII renderer, the invariant checker and the experiment
+//! reports (e.g. "in which round was the ring explored?").
+
+use dynring_graph::{AgentId, EdgeId, GlobalDirection, NodeId};
+use dynring_model::{Decision, PriorOutcome};
+use serde::{Deserialize, Serialize};
+
+/// What happened to one agent in one round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentRoundRecord {
+    /// The agent.
+    pub id: AgentId,
+    /// Whether it was active this round.
+    pub active: bool,
+    /// Node at the beginning of the round.
+    pub node_before: NodeId,
+    /// Node at the end of the round.
+    pub node_after: NodeId,
+    /// Port held at the end of the round (global direction), if any.
+    pub held_port_after: Option<GlobalDirection>,
+    /// The decision taken (None if the agent was asleep or already terminated).
+    pub decision: Option<Decision>,
+    /// The outcome as it will be reported to the agent at its next activation.
+    pub outcome: PriorOutcome,
+    /// Whether the agent is terminated at the end of the round.
+    pub terminated: bool,
+    /// Protocol state label after the round.
+    pub state_label: String,
+}
+
+/// Everything that happened in one round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// The (1-based) round number.
+    pub round: u64,
+    /// The edge the adversary removed, if any.
+    pub missing_edge: Option<EdgeId>,
+    /// The agents activated by the scheduler.
+    pub active: Vec<AgentId>,
+    /// Per-agent records, ordered by agent id.
+    pub agents: Vec<AgentRoundRecord>,
+    /// Number of distinct nodes visited by the union of all agents after this
+    /// round.
+    pub visited_count: usize,
+}
+
+impl RoundRecord {
+    /// The record of a specific agent.
+    #[must_use]
+    pub fn agent(&self, id: AgentId) -> Option<&AgentRoundRecord> {
+        self.agents.iter().find(|a| a.id == id)
+    }
+
+    /// Number of successful traversals (moves or passive transports) in this
+    /// round.
+    #[must_use]
+    pub fn traversals(&self) -> usize {
+        self.agents
+            .iter()
+            .filter(|a| matches!(a.outcome, PriorOutcome::Moved | PriorOutcome::Transported))
+            .count()
+    }
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trace {
+    rounds: Vec<RoundRecord>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Trace { rounds: Vec::new() }
+    }
+
+    /// Appends a round record.
+    pub fn push(&mut self, record: RoundRecord) {
+        self.rounds.push(record);
+    }
+
+    /// All recorded rounds in order.
+    #[must_use]
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Number of recorded rounds.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rounds.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rounds.is_empty()
+    }
+
+    /// The record of a given (1-based) round, if recorded.
+    #[must_use]
+    pub fn round(&self, round: u64) -> Option<&RoundRecord> {
+        self.rounds.iter().find(|r| r.round == round)
+    }
+
+    /// The first round in which the union of visited nodes covered the whole
+    /// ring of the given size.
+    #[must_use]
+    pub fn exploration_round(&self, ring_size: usize) -> Option<u64> {
+        self.rounds.iter().find(|r| r.visited_count >= ring_size).map(|r| r.round)
+    }
+
+    /// Total number of edge traversals across all agents and rounds.
+    #[must_use]
+    pub fn total_traversals(&self) -> usize {
+        self.rounds.iter().map(RoundRecord::traversals).sum()
+    }
+
+    /// Checks the structural invariants of the model over the whole trace,
+    /// returning a human-readable description of the first violation.
+    ///
+    /// The invariants checked are:
+    /// 1. at most one edge is missing per round (by construction of the
+    ///    record, always true — kept for completeness);
+    /// 2. a terminated agent never moves again;
+    /// 3. an agent moves by at most one edge per round, and only over a
+    ///    present edge;
+    /// 4. at most one agent holds any given port at the end of a round.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn check_invariants(&self, ring_size: usize) -> Result<(), String> {
+        let mut terminated: std::collections::HashSet<AgentId> = std::collections::HashSet::new();
+        for record in &self.rounds {
+            for agent in &record.agents {
+                if terminated.contains(&agent.id) && agent.node_before != agent.node_after {
+                    return Err(format!(
+                        "terminated agent {} moved in round {}",
+                        agent.id, record.round
+                    ));
+                }
+                let before = agent.node_before.index() as i64;
+                let after = agent.node_after.index() as i64;
+                let diff = (after - before).rem_euclid(ring_size as i64);
+                if diff != 0 && diff != 1 && diff != ring_size as i64 - 1 {
+                    return Err(format!(
+                        "agent {} jumped from {} to {} in round {}",
+                        agent.id, agent.node_before, agent.node_after, record.round
+                    ));
+                }
+                if agent.terminated {
+                    terminated.insert(agent.id);
+                }
+            }
+            let mut held: std::collections::HashSet<(NodeId, GlobalDirection)> =
+                std::collections::HashSet::new();
+            for agent in &record.agents {
+                if let Some(port) = agent.held_port_after {
+                    if !held.insert((agent.node_after, port)) {
+                        return Err(format!(
+                            "two agents hold the same port of {} in round {}",
+                            agent.node_after, record.round
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynring_model::LocalDirection;
+
+    fn record(round: u64, visited: usize) -> RoundRecord {
+        RoundRecord {
+            round,
+            missing_edge: None,
+            active: vec![AgentId::new(0)],
+            agents: vec![AgentRoundRecord {
+                id: AgentId::new(0),
+                active: true,
+                node_before: NodeId::new(0),
+                node_after: NodeId::new(1),
+                held_port_after: None,
+                decision: Some(Decision::Move(LocalDirection::Right)),
+                outcome: PriorOutcome::Moved,
+                terminated: false,
+                state_label: "Init".to_string(),
+            }],
+            visited_count: visited,
+        }
+    }
+
+    #[test]
+    fn trace_accumulates_rounds() {
+        let mut t = Trace::new();
+        assert!(t.is_empty());
+        t.push(record(1, 2));
+        t.push(record(2, 3));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.round(2).unwrap().visited_count, 3);
+        assert_eq!(t.exploration_round(3), Some(2));
+        assert_eq!(t.exploration_round(9), None);
+        assert_eq!(t.total_traversals(), 2);
+        assert_eq!(t.rounds()[0].traversals(), 1);
+        assert!(t.rounds()[0].agent(AgentId::new(0)).is_some());
+    }
+
+    #[test]
+    fn invariants_accept_legal_traces() {
+        let mut t = Trace::new();
+        t.push(record(1, 2));
+        assert!(t.check_invariants(6).is_ok());
+    }
+
+    #[test]
+    fn invariants_reject_teleportation() {
+        let mut t = Trace::new();
+        let mut r = record(1, 2);
+        r.agents[0].node_after = NodeId::new(3);
+        t.push(r);
+        let err = t.check_invariants(8).unwrap_err();
+        assert!(err.contains("jumped"));
+    }
+
+    #[test]
+    fn invariants_reject_moving_after_termination() {
+        let mut t = Trace::new();
+        let mut r1 = record(1, 2);
+        r1.agents[0].terminated = true;
+        r1.agents[0].node_after = r1.agents[0].node_before;
+        t.push(r1);
+        let mut r2 = record(2, 2);
+        r2.agents[0].terminated = true;
+        t.push(r2);
+        let err = t.check_invariants(8).unwrap_err();
+        assert!(err.contains("terminated"));
+    }
+
+    #[test]
+    fn invariants_reject_shared_ports() {
+        let mut t = Trace::new();
+        let mut r = record(1, 2);
+        let mut second = r.agents[0].clone();
+        second.id = AgentId::new(1);
+        second.node_after = r.agents[0].node_after;
+        second.held_port_after = Some(GlobalDirection::Ccw);
+        r.agents[0].held_port_after = Some(GlobalDirection::Ccw);
+        r.agents.push(second);
+        t.push(r);
+        let err = t.check_invariants(8).unwrap_err();
+        assert!(err.contains("same port"));
+    }
+}

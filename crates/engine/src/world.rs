@@ -1,0 +1,353 @@
+//! The simulator's "god view" of the ring and the agents.
+//!
+//! Nothing in this module is visible to the protocols; they only ever receive
+//! [`Snapshot`](dynring_model::Snapshot)s built from it. Adversaries, on the
+//! other hand, receive the full [`RoundView`], including a prediction of what
+//! every agent would do if activated — this is legitimate because the
+//! protocols are deterministic, so an omniscient adversary could compute the
+//! same prediction by simulation, exactly as the adversaries in the paper's
+//! impossibility proofs do.
+
+use dynring_graph::{AgentId, EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
+use dynring_model::{
+    Decision, LocalDirection, LocalPosition, NodeOccupancy, PriorOutcome, Protocol, Snapshot,
+};
+use serde::{Deserialize, Serialize};
+
+/// Mutable per-agent runtime state owned by the simulation.
+#[derive(Debug)]
+pub(crate) struct AgentRuntime {
+    pub id: AgentId,
+    pub node: NodeId,
+    /// The port (by global direction) the agent is currently holding, if any.
+    pub held_port: Option<GlobalDirection>,
+    pub handedness: Handedness,
+    pub protocol: Box<dyn Protocol>,
+    pub prior: PriorOutcome,
+    pub terminated: bool,
+    pub moves: u64,
+    pub activations: u64,
+    pub last_active_round: u64,
+    /// Consecutive rounds spent asleep while holding a port (for ET fairness
+    /// accounting).
+    pub asleep_on_port: u64,
+    pub visited: Vec<bool>,
+    pub terminated_at: Option<u64>,
+}
+
+impl AgentRuntime {
+    pub(crate) fn new(
+        id: AgentId,
+        node: NodeId,
+        handedness: Handedness,
+        protocol: Box<dyn Protocol>,
+        ring_size: usize,
+    ) -> Self {
+        let mut visited = vec![false; ring_size];
+        visited[node.index()] = true;
+        AgentRuntime {
+            id,
+            node,
+            held_port: None,
+            handedness,
+            protocol,
+            prior: PriorOutcome::Idle,
+            terminated: false,
+            moves: 0,
+            activations: 0,
+            last_active_round: 0,
+            asleep_on_port: 0,
+            visited,
+            terminated_at: None,
+        }
+    }
+
+    /// Converts a local direction of this agent into the global frame.
+    pub(crate) fn to_global(&self, dir: LocalDirection) -> GlobalDirection {
+        match dir {
+            LocalDirection::Left => self.handedness.local_left(),
+            LocalDirection::Right => self.handedness.local_right(),
+        }
+    }
+
+    /// Converts a global direction into this agent's local frame.
+    pub(crate) fn to_local(&self, dir: GlobalDirection) -> LocalDirection {
+        if dir == self.handedness.local_left() {
+            LocalDirection::Left
+        } else {
+            LocalDirection::Right
+        }
+    }
+
+    /// The number of distinct nodes this agent has visited.
+    pub(crate) fn visited_count(&self) -> usize {
+        self.visited.iter().filter(|v| **v).count()
+    }
+}
+
+/// What an agent would do if it were activated in the current round, in the
+/// global frame (visible to adversaries only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictedAction {
+    /// The agent would try to cross `edge`, leaving its node in `direction`.
+    Move {
+        /// The edge it would traverse.
+        edge: EdgeId,
+        /// The global direction of the attempted move.
+        direction: GlobalDirection,
+    },
+    /// The agent would do nothing this round.
+    Stay,
+    /// The agent would step back from its held port into the node.
+    Retreat,
+    /// The agent would enter its terminal state.
+    Terminate,
+}
+
+impl PredictedAction {
+    /// The edge the agent would cross, if it would move.
+    #[must_use]
+    pub const fn target_edge(&self) -> Option<EdgeId> {
+        match self {
+            PredictedAction::Move { edge, .. } => Some(*edge),
+            _ => None,
+        }
+    }
+
+    /// Whether the prediction is an attempted move.
+    #[must_use]
+    pub const fn is_move(&self) -> bool {
+        matches!(self, PredictedAction::Move { .. })
+    }
+}
+
+/// Adversary-visible information about one agent at the start of a round.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AgentView {
+    /// The agent's simulator identifier.
+    pub id: AgentId,
+    /// The node the agent currently occupies.
+    pub node: NodeId,
+    /// The port (global direction) it holds, if it is waiting on one.
+    pub held_port: Option<GlobalDirection>,
+    /// Whether the agent has terminated.
+    pub terminated: bool,
+    /// The agent's private orientation.
+    pub handedness: Handedness,
+    /// What the agent would do if activated this round.
+    pub predicted: PredictedAction,
+    /// The last round in which the agent was active (0 = never).
+    pub last_active_round: u64,
+    /// Consecutive rounds spent asleep while holding a port.
+    pub asleep_on_port: u64,
+    /// Successful traversals so far.
+    pub moves: u64,
+    /// Protocol state label (for traces and debugging adversaries).
+    pub state_label: String,
+}
+
+/// Adversary-visible information about the whole system at the start of a
+/// round.
+#[derive(Debug, Clone)]
+pub struct RoundView<'a> {
+    /// The round about to be played (1-based).
+    pub round: u64,
+    /// The static ring.
+    pub ring: &'a RingTopology,
+    /// One entry per agent (including terminated ones), ordered by id.
+    pub agents: Vec<AgentView>,
+    /// Which nodes have been visited by at least one agent so far.
+    pub visited: &'a [bool],
+}
+
+impl RoundView<'_> {
+    /// The agents that have not terminated yet.
+    pub fn alive(&self) -> impl Iterator<Item = &AgentView> {
+        self.agents.iter().filter(|a| !a.terminated)
+    }
+
+    /// Number of nodes visited so far.
+    #[must_use]
+    pub fn visited_count(&self) -> usize {
+        self.visited.iter().filter(|v| **v).count()
+    }
+
+    /// Whether every node has been visited.
+    #[must_use]
+    pub fn explored(&self) -> bool {
+        self.visited.iter().all(|v| *v)
+    }
+
+    /// The view of a specific agent.
+    #[must_use]
+    pub fn agent(&self, id: AgentId) -> Option<&AgentView> {
+        self.agents.iter().find(|a| a.id == id)
+    }
+}
+
+/// Builds the **Look** snapshot of `observer` given the positions of all
+/// agents (the paper's Look operation: own position, other agents at the same
+/// node, landmark flag, own previous outcome).
+pub(crate) fn build_snapshot(
+    ring: &RingTopology,
+    agents: &[AgentRuntime],
+    observer_index: usize,
+    round: u64,
+    fsync: bool,
+) -> Snapshot {
+    let observer = &agents[observer_index];
+    let mut occupancy = NodeOccupancy::default();
+    for (i, other) in agents.iter().enumerate() {
+        if i == observer_index || other.node != observer.node {
+            continue;
+        }
+        match other.held_port {
+            None => occupancy.in_node += 1,
+            Some(gdir) => match observer.to_local(gdir) {
+                LocalDirection::Left => occupancy.on_left_port += 1,
+                LocalDirection::Right => occupancy.on_right_port += 1,
+            },
+        }
+    }
+    let position = match observer.held_port {
+        None => LocalPosition::InNode,
+        Some(gdir) => LocalPosition::OnPort(observer.to_local(gdir)),
+    };
+    Snapshot {
+        position,
+        is_landmark: ring.is_landmark(observer.node),
+        occupancy,
+        prior: observer.prior,
+        round_hint: if fsync { Some(round) } else { None },
+    }
+}
+
+/// Converts a protocol [`Decision`] into the adversary-facing
+/// [`PredictedAction`].
+pub(crate) fn predict_action(
+    ring: &RingTopology,
+    agent: &AgentRuntime,
+    decision: Decision,
+) -> PredictedAction {
+    match decision {
+        Decision::Move(ldir) => {
+            let gdir = agent.to_global(ldir);
+            PredictedAction::Move { edge: ring.edge_towards(agent.node, gdir), direction: gdir }
+        }
+        Decision::Stay => PredictedAction::Stay,
+        Decision::Retreat => PredictedAction::Retreat,
+        Decision::Terminate => PredictedAction::Terminate,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynring_model::TerminationKind;
+
+    #[derive(Debug, Clone)]
+    struct GoLeft;
+    impl Protocol for GoLeft {
+        fn name(&self) -> &'static str {
+            "go-left"
+        }
+        fn termination_kind(&self) -> TerminationKind {
+            TerminationKind::Unconscious
+        }
+        fn decide(&mut self, _snapshot: &Snapshot) -> Decision {
+            Decision::Move(LocalDirection::Left)
+        }
+        fn has_terminated(&self) -> bool {
+            false
+        }
+        fn clone_box(&self) -> Box<dyn Protocol> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn runtime(id: usize, node: usize, handedness: Handedness, ring: &RingTopology) -> AgentRuntime {
+        AgentRuntime::new(
+            AgentId::new(id),
+            NodeId::new(node),
+            handedness,
+            Box::new(GoLeft),
+            ring.size(),
+        )
+    }
+
+    #[test]
+    fn local_global_conversion_roundtrips() {
+        let ring = RingTopology::new(5).unwrap();
+        for h in Handedness::both() {
+            let a = runtime(0, 0, h, &ring);
+            for d in LocalDirection::both() {
+                assert_eq!(a.to_local(a.to_global(d)), d);
+            }
+            for g in GlobalDirection::both() {
+                assert_eq!(a.to_global(a.to_local(g)), g);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_sees_other_agents_in_the_observers_frame() {
+        let ring = RingTopology::with_landmark(6, NodeId::new(2)).unwrap();
+        let mut agents = vec![
+            runtime(0, 2, Handedness::LeftIsCcw, &ring),
+            runtime(1, 2, Handedness::LeftIsCw, &ring),
+            runtime(2, 3, Handedness::LeftIsCcw, &ring),
+        ];
+        // Agent 1 is waiting on the CCW port of node 2.
+        agents[1].held_port = Some(GlobalDirection::Ccw);
+
+        let snap0 = build_snapshot(&ring, &agents, 0, 7, true);
+        // Observer 0 (left = CCW) sees agent 1 on its *left* port.
+        assert_eq!(snap0.occupancy.on_left_port, 1);
+        assert_eq!(snap0.occupancy.on_right_port, 0);
+        assert_eq!(snap0.occupancy.in_node, 0);
+        assert!(snap0.is_landmark);
+        assert_eq!(snap0.round_hint, Some(7));
+        assert_eq!(snap0.position, LocalPosition::InNode);
+
+        // Observer 1 (left = CW) is itself on the CCW port, i.e. its right port.
+        let snap1 = build_snapshot(&ring, &agents, 1, 7, false);
+        assert_eq!(snap1.position, LocalPosition::OnPort(LocalDirection::Right));
+        assert_eq!(snap1.occupancy.in_node, 1);
+        assert_eq!(snap1.round_hint, None);
+
+        // Agent 2 is alone on node 3.
+        let snap2 = build_snapshot(&ring, &agents, 2, 7, true);
+        assert_eq!(snap2.occupancy.total(), 0);
+        assert!(!snap2.is_landmark);
+    }
+
+    #[test]
+    fn predicted_action_maps_direction_and_edge() {
+        let ring = RingTopology::new(6).unwrap();
+        let a = runtime(0, 0, Handedness::LeftIsCcw, &ring);
+        let p = predict_action(&ring, &a, Decision::Move(LocalDirection::Left));
+        assert_eq!(
+            p,
+            PredictedAction::Move { edge: EdgeId::new(0), direction: GlobalDirection::Ccw }
+        );
+        assert_eq!(p.target_edge(), Some(EdgeId::new(0)));
+        assert!(p.is_move());
+        let b = runtime(1, 0, Handedness::LeftIsCw, &ring);
+        let q = predict_action(&ring, &b, Decision::Move(LocalDirection::Left));
+        assert_eq!(
+            q,
+            PredictedAction::Move { edge: EdgeId::new(5), direction: GlobalDirection::Cw }
+        );
+        assert_eq!(predict_action(&ring, &a, Decision::Stay), PredictedAction::Stay);
+        assert!(!PredictedAction::Retreat.is_move());
+        assert_eq!(PredictedAction::Terminate.target_edge(), None);
+    }
+
+    #[test]
+    fn visited_count_starts_with_the_start_node() {
+        let ring = RingTopology::new(4).unwrap();
+        let a = runtime(0, 3, Handedness::LeftIsCcw, &ring);
+        assert_eq!(a.visited_count(), 1);
+        assert!(a.visited[3]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type shared by the substrate layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or validating ring topologies and
+/// edge-presence schedules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The requested ring size is smaller than the minimum of 3 nodes.
+    RingTooSmall {
+        /// The size that was requested.
+        requested: usize,
+    },
+    /// A node index was outside `0..n`.
+    NodeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The ring size.
+        ring_size: usize,
+    },
+    /// An edge index was outside `0..n`.
+    EdgeOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The ring size.
+        ring_size: usize,
+    },
+    /// A schedule violated 1-interval connectivity (more than one edge
+    /// missing in one round).
+    ConnectivityViolation {
+        /// The round at which the violation occurred.
+        round: u64,
+    },
+    /// The schedule was asked about a round beyond its fixed horizon and no
+    /// default behaviour was configured.
+    HorizonExceeded {
+        /// The round that was requested.
+        round: u64,
+        /// The number of rounds the schedule covers.
+        horizon: u64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::RingTooSmall { requested } => {
+                write!(f, "ring requires at least 3 nodes, got {requested}")
+            }
+            GraphError::NodeOutOfRange { index, ring_size } => {
+                write!(f, "node index {index} out of range for ring of size {ring_size}")
+            }
+            GraphError::EdgeOutOfRange { index, ring_size } => {
+                write!(f, "edge index {index} out of range for ring of size {ring_size}")
+            }
+            GraphError::ConnectivityViolation { round } => {
+                write!(f, "more than one edge missing at round {round}")
+            }
+            GraphError::HorizonExceeded { round, horizon } => {
+                write!(f, "round {round} beyond schedule horizon {horizon}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let cases = [
+            GraphError::RingTooSmall { requested: 2 },
+            GraphError::NodeOutOfRange { index: 9, ring_size: 5 },
+            GraphError::EdgeOutOfRange { index: 9, ring_size: 5 },
+            GraphError::ConnectivityViolation { round: 3 },
+            GraphError::HorizonExceeded { round: 10, horizon: 5 },
+        ];
+        for c in cases {
+            let s = c.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("ring"));
+        }
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error>() {}
+        assert_err::<GraphError>();
+    }
+}

@@ -1,0 +1,167 @@
+//! Strongly-typed identifiers for nodes, edges and agents.
+//!
+//! The paper's rings are *anonymous*: nodes carry no identifiers visible to
+//! the agents. The identifiers defined here are purely a bookkeeping device
+//! of the simulator (the "god view"); protocols never observe them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a node `v_i` of the ring, `0 ≤ i < n`.
+///
+/// Node `v_i` is adjacent to `v_{i-1}` and `v_{i+1}` (indices mod `n`).
+///
+/// ```
+/// use dynring_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Creates a node identifier from a raw index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the raw index of the node.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<usize> for NodeId {
+    fn from(index: usize) -> Self {
+        NodeId(index)
+    }
+}
+
+/// Index of an edge of the ring.
+///
+/// Edge `e_i` connects `v_i` and `v_{i+1 mod n}`; a ring of size `n` has
+/// exactly `n` edges `e_0, …, e_{n-1}`.
+///
+/// ```
+/// use dynring_graph::EdgeId;
+/// assert_eq!(EdgeId::new(2).index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct EdgeId(usize);
+
+impl EdgeId {
+    /// Creates an edge identifier from a raw index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        EdgeId(index)
+    }
+
+    /// Returns the raw index of the edge.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<usize> for EdgeId {
+    fn from(index: usize) -> Self {
+        EdgeId(index)
+    }
+}
+
+/// Simulator-level identifier of an agent.
+///
+/// Agents in the paper are anonymous; this identifier exists only so the
+/// engine, traces and adversaries can refer to individual agents. It is never
+/// part of an agent's [snapshot](https://docs.rs/dynring-model) unless a
+/// scenario explicitly grants distinct IDs (used only by impossibility
+/// experiments that show a result holds *even with* IDs).
+///
+/// ```
+/// use dynring_graph::AgentId;
+/// assert_eq!(AgentId::new(0).index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct AgentId(usize);
+
+impl AgentId {
+    /// Creates an agent identifier from a raw index.
+    #[must_use]
+    pub const fn new(index: usize) -> Self {
+        AgentId(index)
+    }
+
+    /// Returns the raw index of the agent.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<usize> for AgentId {
+    fn from(index: usize) -> Self {
+        AgentId(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn node_roundtrip_and_display() {
+        let v = NodeId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(v.to_string(), "v7");
+        assert_eq!(NodeId::from(7), v);
+    }
+
+    #[test]
+    fn edge_roundtrip_and_display() {
+        let e = EdgeId::new(5);
+        assert_eq!(e.index(), 5);
+        assert_eq!(e.to_string(), "e5");
+        assert_eq!(EdgeId::from(5), e);
+    }
+
+    #[test]
+    fn agent_roundtrip_and_display() {
+        let a = AgentId::new(2);
+        assert_eq!(a.index(), 2);
+        assert_eq!(a.to_string(), "a2");
+        assert_eq!(AgentId::from(2), a);
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(1));
+        set.insert(NodeId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(EdgeId::new(0) < EdgeId::new(3));
+        assert!(AgentId::new(0) < AgentId::new(1));
+    }
+}

@@ -1,0 +1,181 @@
+//! Global and private orientation of the ring.
+//!
+//! The ring has a *global* sense of rotation that only the simulator sees:
+//! [`GlobalDirection::Ccw`] goes from `v_i` to `v_{i+1}` and
+//! [`GlobalDirection::Cw`] goes from `v_i` to `v_{i-1}`.
+//!
+//! Each agent `a_j` owns a *private*, internally consistent orientation
+//! `λ_j` that maps every port to either `left` or `right`. The simulator
+//! models `λ_j` with a [`Handedness`]: it fixes which global direction the
+//! agent's local `left` corresponds to. When all agents share the same
+//! handedness **and know it**, the system has *chirality* in the sense of the
+//! paper.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Not;
+
+/// Global direction of travel around the ring (simulator frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum GlobalDirection {
+    /// Counter-clockwise: from `v_i` towards `v_{i+1}` (indices mod `n`).
+    Ccw,
+    /// Clockwise: from `v_i` towards `v_{i-1}` (indices mod `n`).
+    Cw,
+}
+
+impl GlobalDirection {
+    /// Returns the opposite global direction.
+    ///
+    /// ```
+    /// use dynring_graph::GlobalDirection;
+    /// assert_eq!(GlobalDirection::Ccw.opposite(), GlobalDirection::Cw);
+    /// ```
+    #[must_use]
+    pub const fn opposite(self) -> Self {
+        match self {
+            GlobalDirection::Ccw => GlobalDirection::Cw,
+            GlobalDirection::Cw => GlobalDirection::Ccw,
+        }
+    }
+
+    /// The signed step (`+1` for CCW, `-1` for CW) applied to a node index.
+    #[must_use]
+    pub const fn step(self) -> i64 {
+        match self {
+            GlobalDirection::Ccw => 1,
+            GlobalDirection::Cw => -1,
+        }
+    }
+
+    /// Both directions, in a fixed order (useful for iteration).
+    #[must_use]
+    pub const fn both() -> [GlobalDirection; 2] {
+        [GlobalDirection::Ccw, GlobalDirection::Cw]
+    }
+}
+
+impl Not for GlobalDirection {
+    type Output = GlobalDirection;
+
+    fn not(self) -> Self::Output {
+        self.opposite()
+    }
+}
+
+impl fmt::Display for GlobalDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GlobalDirection::Ccw => write!(f, "ccw"),
+            GlobalDirection::Cw => write!(f, "cw"),
+        }
+    }
+}
+
+/// The private orientation (handedness) of an agent.
+///
+/// An agent with [`Handedness::LeftIsCcw`] has its local `left` pointing in
+/// the global counter-clockwise direction; an agent with
+/// [`Handedness::LeftIsCw`] has it pointing clockwise. Two agents *agree on
+/// orientation* exactly when their handedness values are equal.
+///
+/// ```
+/// use dynring_graph::{GlobalDirection, Handedness};
+/// let h = Handedness::LeftIsCw;
+/// assert_eq!(h.local_left(), GlobalDirection::Cw);
+/// assert_eq!(h.local_right(), GlobalDirection::Ccw);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Handedness {
+    /// Local `left` corresponds to the global counter-clockwise direction.
+    #[default]
+    LeftIsCcw,
+    /// Local `left` corresponds to the global clockwise direction.
+    LeftIsCw,
+}
+
+impl Handedness {
+    /// Global direction the agent's local `left` maps to.
+    #[must_use]
+    pub const fn local_left(self) -> GlobalDirection {
+        match self {
+            Handedness::LeftIsCcw => GlobalDirection::Ccw,
+            Handedness::LeftIsCw => GlobalDirection::Cw,
+        }
+    }
+
+    /// Global direction the agent's local `right` maps to.
+    #[must_use]
+    pub const fn local_right(self) -> GlobalDirection {
+        self.local_left().opposite()
+    }
+
+    /// Returns the opposite handedness.
+    #[must_use]
+    pub const fn flipped(self) -> Self {
+        match self {
+            Handedness::LeftIsCcw => Handedness::LeftIsCw,
+            Handedness::LeftIsCw => Handedness::LeftIsCcw,
+        }
+    }
+
+    /// Both handedness values, in a fixed order.
+    #[must_use]
+    pub const fn both() -> [Handedness; 2] {
+        [Handedness::LeftIsCcw, Handedness::LeftIsCw]
+    }
+}
+
+impl fmt::Display for Handedness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Handedness::LeftIsCcw => write!(f, "left=ccw"),
+            Handedness::LeftIsCw => write!(f, "left=cw"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opposite_is_involution() {
+        for d in GlobalDirection::both() {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(!(!d), d);
+            assert_ne!(d.opposite(), d);
+        }
+    }
+
+    #[test]
+    fn steps_are_opposite() {
+        assert_eq!(GlobalDirection::Ccw.step(), 1);
+        assert_eq!(GlobalDirection::Cw.step(), -1);
+        for d in GlobalDirection::both() {
+            assert_eq!(d.step(), -d.opposite().step());
+        }
+    }
+
+    #[test]
+    fn handedness_maps_left_and_right_consistently() {
+        for h in Handedness::both() {
+            assert_eq!(h.local_left().opposite(), h.local_right());
+            assert_eq!(h.flipped().local_left(), h.local_right());
+            assert_eq!(h.flipped().flipped(), h);
+        }
+    }
+
+    #[test]
+    fn default_handedness_is_ccw() {
+        assert_eq!(Handedness::default(), Handedness::LeftIsCcw);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(GlobalDirection::Ccw.to_string(), "ccw");
+        assert_eq!(GlobalDirection::Cw.to_string(), "cw");
+        assert_eq!(Handedness::LeftIsCcw.to_string(), "left=ccw");
+        assert_eq!(Handedness::LeftIsCw.to_string(), "left=cw");
+    }
+}

@@ -1,0 +1,341 @@
+//! The static ring footprint.
+
+use crate::error::GraphError;
+use crate::ids::{EdgeId, NodeId};
+use crate::orientation::GlobalDirection;
+use serde::{Deserialize, Serialize};
+
+/// The footprint ring `R = (v_0, …, v_{n-1})`, with optional landmark.
+///
+/// The ring is the *static* underlying graph; which edge is missing at any
+/// given round is decided by the dynamics layer (see
+/// [`crate::dynamics::EdgeSchedule`]) or, during a live simulation, by an
+/// adversary.
+///
+/// Edges are indexed so that edge `e_i` connects `v_i` with `v_{i+1 mod n}`.
+/// The port `q_i^+` of node `v_i` leads over `e_i` (global CCW) and the port
+/// `q_i^-` leads over `e_{i-1 mod n}` (global CW).
+///
+/// # Example
+///
+/// ```
+/// use dynring_graph::{RingTopology, NodeId, EdgeId, GlobalDirection};
+///
+/// let ring = RingTopology::with_landmark(6, NodeId::new(0)).unwrap();
+/// assert_eq!(ring.size(), 6);
+/// assert!(ring.is_landmark(NodeId::new(0)));
+/// assert_eq!(ring.edge_towards(NodeId::new(2), GlobalDirection::Ccw), EdgeId::new(2));
+/// assert_eq!(ring.edge_towards(NodeId::new(2), GlobalDirection::Cw), EdgeId::new(1));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct RingTopology {
+    size: usize,
+    landmark: Option<NodeId>,
+}
+
+impl RingTopology {
+    /// Minimum admissible ring size.
+    pub const MIN_SIZE: usize = 3;
+
+    /// Creates an anonymous ring with `n` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::RingTooSmall`] if `n < 3`.
+    pub fn new(n: usize) -> Result<Self, GraphError> {
+        if n < Self::MIN_SIZE {
+            return Err(GraphError::RingTooSmall { requested: n });
+        }
+        Ok(RingTopology { size: n, landmark: None })
+    }
+
+    /// Creates a ring with `n` nodes where `landmark` is the distinguished
+    /// landmark node visible to the agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::RingTooSmall`] if `n < 3` and
+    /// [`GraphError::NodeOutOfRange`] if the landmark index is not a node.
+    pub fn with_landmark(n: usize, landmark: NodeId) -> Result<Self, GraphError> {
+        let mut ring = Self::new(n)?;
+        if landmark.index() >= n {
+            return Err(GraphError::NodeOutOfRange { index: landmark.index(), ring_size: n });
+        }
+        ring.landmark = Some(landmark);
+        Ok(ring)
+    }
+
+    /// Number of nodes (equivalently, number of edges) of the ring.
+    #[must_use]
+    pub const fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The landmark node, if the ring has one.
+    #[must_use]
+    pub const fn landmark(&self) -> Option<NodeId> {
+        self.landmark
+    }
+
+    /// Whether `node` is the landmark.
+    #[must_use]
+    pub fn is_landmark(&self, node: NodeId) -> bool {
+        self.landmark == Some(node)
+    }
+
+    /// Whether the ring is anonymous (has no landmark).
+    #[must_use]
+    pub const fn is_anonymous(&self) -> bool {
+        self.landmark.is_none()
+    }
+
+    /// Iterator over all nodes `v_0, …, v_{n-1}`.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.size).map(NodeId::new)
+    }
+
+    /// Iterator over all edges `e_0, …, e_{n-1}`.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.size).map(EdgeId::new)
+    }
+
+    /// Validates that `node` is a node of this ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] otherwise.
+    pub fn check_node(&self, node: NodeId) -> Result<(), GraphError> {
+        if node.index() < self.size {
+            Ok(())
+        } else {
+            Err(GraphError::NodeOutOfRange { index: node.index(), ring_size: self.size })
+        }
+    }
+
+    /// Validates that `edge` is an edge of this ring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::EdgeOutOfRange`] otherwise.
+    pub fn check_edge(&self, edge: EdgeId) -> Result<(), GraphError> {
+        if edge.index() < self.size {
+            Ok(())
+        } else {
+            Err(GraphError::EdgeOutOfRange { index: edge.index(), ring_size: self.size })
+        }
+    }
+
+    /// The neighbour of `node` in global direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range (a programming error of the caller;
+    /// use [`RingTopology::check_node`] to validate untrusted input).
+    #[must_use]
+    pub fn neighbor(&self, node: NodeId, dir: GlobalDirection) -> NodeId {
+        assert!(node.index() < self.size, "node {node} out of range (n={})", self.size);
+        let n = self.size;
+        let next = match dir {
+            GlobalDirection::Ccw => (node.index() + 1) % n,
+            GlobalDirection::Cw => (node.index() + n - 1) % n,
+        };
+        NodeId::new(next)
+    }
+
+    /// The edge an agent standing at `node` crosses when moving in global
+    /// direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn edge_towards(&self, node: NodeId, dir: GlobalDirection) -> EdgeId {
+        assert!(node.index() < self.size, "node {node} out of range (n={})", self.size);
+        match dir {
+            GlobalDirection::Ccw => EdgeId::new(node.index()),
+            GlobalDirection::Cw => EdgeId::new((node.index() + self.size - 1) % self.size),
+        }
+    }
+
+    /// The two endpoints `(v_i, v_{i+1})` of edge `e_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` is out of range.
+    #[must_use]
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        assert!(edge.index() < self.size, "edge {edge} out of range (n={})", self.size);
+        (NodeId::new(edge.index()), NodeId::new((edge.index() + 1) % self.size))
+    }
+
+    /// The edge between two adjacent nodes, or `None` if they are not
+    /// adjacent (or are the same node).
+    #[must_use]
+    pub fn edge_between(&self, a: NodeId, b: NodeId) -> Option<EdgeId> {
+        if a.index() >= self.size || b.index() >= self.size || a == b {
+            return None;
+        }
+        if self.neighbor(a, GlobalDirection::Ccw) == b {
+            Some(self.edge_towards(a, GlobalDirection::Ccw))
+        } else if self.neighbor(a, GlobalDirection::Cw) == b {
+            Some(self.edge_towards(a, GlobalDirection::Cw))
+        } else {
+            None
+        }
+    }
+
+    /// Ring (shortest-path) distance between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> usize {
+        assert!(a.index() < self.size && b.index() < self.size, "node out of range");
+        let d = self.directed_distance(a, b, GlobalDirection::Ccw);
+        d.min(self.size - d)
+    }
+
+    /// Number of edges from `a` to `b` walking in global direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is out of range.
+    #[must_use]
+    pub fn directed_distance(&self, a: NodeId, b: NodeId, dir: GlobalDirection) -> usize {
+        assert!(a.index() < self.size && b.index() < self.size, "node out of range");
+        let n = self.size;
+        match dir {
+            GlobalDirection::Ccw => (b.index() + n - a.index()) % n,
+            GlobalDirection::Cw => (a.index() + n - b.index()) % n,
+        }
+    }
+
+    /// Node reached from `node` after `steps` hops in direction `dir`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn offset(&self, node: NodeId, dir: GlobalDirection, steps: usize) -> NodeId {
+        assert!(node.index() < self.size, "node out of range");
+        let n = self.size as i64;
+        let delta = dir.step() * (steps as i64 % n);
+        let idx = ((node.index() as i64 + delta) % n + n) % n;
+        NodeId::new(idx as usize)
+    }
+
+    /// Node reached from `node` after applying a signed CCW offset
+    /// (positive = CCW, negative = CW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[must_use]
+    pub fn offset_signed(&self, node: NodeId, delta: i64) -> NodeId {
+        assert!(node.index() < self.size, "node out of range");
+        let n = self.size as i64;
+        let idx = ((node.index() as i64 + delta) % n + n) % n;
+        NodeId::new(idx as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_tiny_rings() {
+        assert!(RingTopology::new(0).is_err());
+        assert!(RingTopology::new(2).is_err());
+        assert!(RingTopology::new(3).is_ok());
+    }
+
+    #[test]
+    fn landmark_validation() {
+        assert!(RingTopology::with_landmark(5, NodeId::new(4)).is_ok());
+        assert!(RingTopology::with_landmark(5, NodeId::new(5)).is_err());
+        let r = RingTopology::with_landmark(5, NodeId::new(2)).unwrap();
+        assert!(r.is_landmark(NodeId::new(2)));
+        assert!(!r.is_landmark(NodeId::new(3)));
+        assert!(!r.is_anonymous());
+        assert!(RingTopology::new(5).unwrap().is_anonymous());
+    }
+
+    #[test]
+    fn neighbors_wrap_around() {
+        let r = RingTopology::new(5).unwrap();
+        assert_eq!(r.neighbor(NodeId::new(4), GlobalDirection::Ccw), NodeId::new(0));
+        assert_eq!(r.neighbor(NodeId::new(0), GlobalDirection::Cw), NodeId::new(4));
+    }
+
+    #[test]
+    fn edges_and_ports_match_paper_indexing() {
+        let r = RingTopology::new(6).unwrap();
+        // e_i connects v_i and v_{i+1}
+        assert_eq!(r.endpoints(EdgeId::new(5)), (NodeId::new(5), NodeId::new(0)));
+        // q_i^+ leads over e_i, q_i^- over e_{i-1}
+        assert_eq!(r.edge_towards(NodeId::new(0), GlobalDirection::Cw), EdgeId::new(5));
+        assert_eq!(r.edge_towards(NodeId::new(3), GlobalDirection::Ccw), EdgeId::new(3));
+    }
+
+    #[test]
+    fn edge_between_adjacent_nodes() {
+        let r = RingTopology::new(4).unwrap();
+        assert_eq!(r.edge_between(NodeId::new(0), NodeId::new(1)), Some(EdgeId::new(0)));
+        assert_eq!(r.edge_between(NodeId::new(1), NodeId::new(0)), Some(EdgeId::new(0)));
+        assert_eq!(r.edge_between(NodeId::new(3), NodeId::new(0)), Some(EdgeId::new(3)));
+        assert_eq!(r.edge_between(NodeId::new(0), NodeId::new(2)), None);
+        assert_eq!(r.edge_between(NodeId::new(1), NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn distances() {
+        let r = RingTopology::new(8).unwrap();
+        assert_eq!(r.distance(NodeId::new(1), NodeId::new(6)), 3);
+        assert_eq!(r.distance(NodeId::new(6), NodeId::new(1)), 3);
+        assert_eq!(r.distance(NodeId::new(2), NodeId::new(2)), 0);
+        assert_eq!(r.directed_distance(NodeId::new(1), NodeId::new(6), GlobalDirection::Ccw), 5);
+        assert_eq!(r.directed_distance(NodeId::new(1), NodeId::new(6), GlobalDirection::Cw), 3);
+    }
+
+    #[test]
+    fn offsets() {
+        let r = RingTopology::new(7).unwrap();
+        assert_eq!(r.offset(NodeId::new(5), GlobalDirection::Ccw, 4), NodeId::new(2));
+        assert_eq!(r.offset(NodeId::new(1), GlobalDirection::Cw, 3), NodeId::new(5));
+        assert_eq!(r.offset_signed(NodeId::new(1), -3), NodeId::new(5));
+        assert_eq!(r.offset_signed(NodeId::new(1), 13), NodeId::new(0));
+        assert_eq!(r.offset_signed(NodeId::new(1), -8), NodeId::new(0));
+    }
+
+    #[test]
+    fn node_and_edge_iterators_cover_everything() {
+        let r = RingTopology::new(9).unwrap();
+        assert_eq!(r.nodes().count(), 9);
+        assert_eq!(r.edges().count(), 9);
+        assert_eq!(r.nodes().next(), Some(NodeId::new(0)));
+        assert_eq!(r.edges().last(), Some(EdgeId::new(8)));
+    }
+
+    #[test]
+    fn check_node_and_edge() {
+        let r = RingTopology::new(4).unwrap();
+        assert!(r.check_node(NodeId::new(3)).is_ok());
+        assert!(r.check_node(NodeId::new(4)).is_err());
+        assert!(r.check_edge(EdgeId::new(3)).is_ok());
+        assert!(r.check_edge(EdgeId::new(4)).is_err());
+    }
+
+    #[test]
+    fn neighbor_is_inverse_of_opposite_neighbor() {
+        let r = RingTopology::new(11).unwrap();
+        for v in r.nodes() {
+            for d in GlobalDirection::both() {
+                let w = r.neighbor(v, d);
+                assert_eq!(r.neighbor(w, d.opposite()), v);
+                assert_eq!(r.edge_towards(v, d), r.edge_towards(w, d.opposite()));
+            }
+        }
+    }
+}

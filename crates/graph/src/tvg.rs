@@ -1,0 +1,221 @@
+//! A minimal time-varying-graph (evolving graph) abstraction.
+//!
+//! The paper models the dynamic ring as a *1-interval-connected* evolving
+//! graph: a sequence `G_1, G_2, …` of spanning subgraphs of the footprint
+//! ring, each of which is connected. This module provides the general
+//! vocabulary (footprint, presence function, temporal connectivity classes)
+//! so that
+//!
+//! * the ring-specific schedule type can be checked against the general
+//!   definition, and
+//! * the engine can later be extended towards the arbitrary-topology open
+//!   problems listed in the paper's conclusion.
+
+use crate::dynamics::EdgeSchedule;
+use crate::ids::{EdgeId, NodeId};
+use crate::ring::RingTopology;
+use serde::{Deserialize, Serialize};
+
+/// A footprint graph: the union of all edges that may ever appear.
+///
+/// Only the operations the exploration engine needs are required; the ring is
+/// the canonical implementation.
+pub trait Footprint {
+    /// Number of nodes of the footprint.
+    fn node_count(&self) -> usize;
+    /// Number of (undirected) edges of the footprint.
+    fn edge_count(&self) -> usize;
+    /// Endpoints of an edge.
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId);
+    /// Edges incident to a node.
+    fn incident_edges(&self, node: NodeId) -> Vec<EdgeId>;
+}
+
+impl Footprint for RingTopology {
+    fn node_count(&self) -> usize {
+        self.size()
+    }
+
+    fn edge_count(&self) -> usize {
+        self.size()
+    }
+
+    fn edge_endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        self.endpoints(edge)
+    }
+
+    fn incident_edges(&self, node: NodeId) -> Vec<EdgeId> {
+        use crate::orientation::GlobalDirection;
+        vec![
+            self.edge_towards(node, GlobalDirection::Cw),
+            self.edge_towards(node, GlobalDirection::Ccw),
+        ]
+    }
+}
+
+/// A presence function: which edges exist at a given (1-based) round.
+pub trait Presence {
+    /// Whether `edge` is present in `round`.
+    fn edge_present(&self, round: u64, edge: EdgeId) -> bool;
+}
+
+impl Presence for EdgeSchedule {
+    fn edge_present(&self, round: u64, edge: EdgeId) -> bool {
+        self.is_present(round, edge)
+    }
+}
+
+/// The temporal connectivity classes of Casteigts et al. referenced by the
+/// paper (Classes 8 and 9, and the T-interval-connected refinement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ConnectivityClass {
+    /// Every snapshot is connected (Class 9); `T = 1` in the
+    /// T-interval-connected hierarchy. This is the assumption of the paper.
+    IntervalConnected {
+        /// The stability parameter `T ≥ 1`.
+        interval: u64,
+    },
+    /// Edges reappear periodically with the given period (Class 8, carrier
+    /// graphs).
+    Periodic {
+        /// The period `p ≥ 1`.
+        period: u64,
+    },
+    /// Every edge reappears at least once in any window of `delta` rounds
+    /// (δ-recurrent dynamics).
+    Recurrent {
+        /// The recurrence bound `δ ≥ 1`.
+        delta: u64,
+    },
+}
+
+/// An evolving graph: a footprint together with a presence function.
+///
+/// ```
+/// use dynring_graph::{RingTopology, EdgeSchedule, EdgeId};
+/// use dynring_graph::tvg::EvolvingGraph;
+///
+/// let ring = RingTopology::new(5).unwrap();
+/// let sched = EdgeSchedule::from_missing(&ring, vec![Some(EdgeId::new(0))]).unwrap();
+/// let eg = EvolvingGraph::new(&ring, &sched);
+/// assert!(eg.snapshot_is_connected(1));
+/// assert!(eg.satisfies_one_interval_connectivity(1..=10));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EvolvingGraph<'a, F: Footprint, P: Presence> {
+    footprint: &'a F,
+    presence: &'a P,
+}
+
+impl<'a, F: Footprint, P: Presence> EvolvingGraph<'a, F, P> {
+    /// Pairs a footprint with a presence function.
+    pub fn new(footprint: &'a F, presence: &'a P) -> Self {
+        EvolvingGraph { footprint, presence }
+    }
+
+    /// The underlying footprint.
+    pub fn footprint(&self) -> &'a F {
+        self.footprint
+    }
+
+    /// Edges present in the snapshot `G_round`.
+    pub fn present_edges(&self, round: u64) -> Vec<EdgeId> {
+        (0..self.footprint.edge_count())
+            .map(EdgeId::new)
+            .filter(|e| self.presence.edge_present(round, *e))
+            .collect()
+    }
+
+    /// Whether the snapshot at `round` is connected (union-find over present
+    /// edges).
+    pub fn snapshot_is_connected(&self, round: u64) -> bool {
+        let n = self.footprint.node_count();
+        if n == 0 {
+            return true;
+        }
+        let mut parent: Vec<usize> = (0..n).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            let mut root = x;
+            while parent[root] != root {
+                root = parent[root];
+            }
+            let mut cur = x;
+            while parent[cur] != root {
+                let next = parent[cur];
+                parent[cur] = root;
+                cur = next;
+            }
+            root
+        }
+        for e in self.present_edges(round) {
+            let (u, v) = self.footprint.edge_endpoints(e);
+            let (ru, rv) = (find(&mut parent, u.index()), find(&mut parent, v.index()));
+            if ru != rv {
+                parent[ru] = rv;
+            }
+        }
+        let root0 = find(&mut parent, 0);
+        (1..n).all(|i| find(&mut parent, i) == root0)
+    }
+
+    /// Whether every snapshot in the (1-based, inclusive) round range is
+    /// connected — i.e. the evolving graph is 1-interval connected over that
+    /// window.
+    pub fn satisfies_one_interval_connectivity(
+        &self,
+        rounds: std::ops::RangeInclusive<u64>,
+    ) -> bool {
+        rounds.into_iter().all(|r| self.snapshot_is_connected(r))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dynamics::ScheduleBuilder;
+
+    #[test]
+    fn ring_footprint_properties() {
+        let ring = RingTopology::new(6).unwrap();
+        assert_eq!(Footprint::node_count(&ring), 6);
+        assert_eq!(Footprint::edge_count(&ring), 6);
+        assert_eq!(ring.edge_endpoints(EdgeId::new(5)), (NodeId::new(5), NodeId::new(0)));
+        let inc = ring.incident_edges(NodeId::new(0));
+        assert_eq!(inc, vec![EdgeId::new(5), EdgeId::new(0)]);
+    }
+
+    #[test]
+    fn ring_with_one_missing_edge_stays_connected() {
+        let ring = RingTopology::new(5).unwrap();
+        let sched = ScheduleBuilder::new(&ring).remove_for(EdgeId::new(3), 4).build();
+        let eg = EvolvingGraph::new(&ring, &sched);
+        assert!(eg.satisfies_one_interval_connectivity(1..=6));
+        assert_eq!(eg.present_edges(1).len(), 4);
+        assert_eq!(eg.present_edges(5).len(), 5);
+    }
+
+    /// A presence function that removes two edges — the resulting snapshot is
+    /// disconnected, demonstrating why the paper's adversary is limited to
+    /// one missing edge.
+    struct TwoMissing;
+    impl Presence for TwoMissing {
+        fn edge_present(&self, _round: u64, edge: EdgeId) -> bool {
+            edge.index() != 0 && edge.index() != 2
+        }
+    }
+
+    #[test]
+    fn removing_two_edges_disconnects_the_ring() {
+        let ring = RingTopology::new(5).unwrap();
+        let presence = TwoMissing;
+        let eg = EvolvingGraph::new(&ring, &presence);
+        assert!(!eg.snapshot_is_connected(1));
+    }
+
+    #[test]
+    fn connectivity_class_is_plain_data() {
+        let c = ConnectivityClass::IntervalConnected { interval: 1 };
+        assert_eq!(c, ConnectivityClass::IntervalConnected { interval: 1 });
+        assert_ne!(c, ConnectivityClass::Periodic { period: 3 });
+    }
+}

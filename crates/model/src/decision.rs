@@ -1,0 +1,99 @@
+//! The **Compute** operation's output.
+
+use crate::snapshot::LocalDirection;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The decision an agent takes after **Look** and **Compute**.
+///
+/// The paper's `direction ∈ {left, right, nil}` is extended with the two
+/// explicit node-level actions the pseudo-code of Figure 4 uses
+/// ("Move from the port to the node", "Terminate"):
+///
+/// * [`Decision::Move`] — position on the port in the given local direction
+///   (if not already there) and attempt to traverse;
+/// * [`Decision::Stay`] — `nil`: do nothing this round; an agent already
+///   waiting on a port keeps holding it;
+/// * [`Decision::Retreat`] — step back from the held port into the node body
+///   (a no-op for an agent already in the node);
+/// * [`Decision::Terminate`] — enter the terminal state: the agent releases
+///   any held port, stands in the node, and never moves again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Decision {
+    /// Attempt to move in the given local direction.
+    Move(LocalDirection),
+    /// Do nothing (`nil`); keep holding a port if one is held.
+    Stay,
+    /// Step from the held port back into the node body.
+    Retreat,
+    /// Enter the terminal state and never move again.
+    Terminate,
+}
+
+impl Decision {
+    /// The direction of an attempted move, if this decision is a move.
+    #[must_use]
+    pub const fn move_direction(self) -> Option<LocalDirection> {
+        match self {
+            Decision::Move(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether this decision attempts an edge traversal.
+    #[must_use]
+    pub const fn is_move(self) -> bool {
+        matches!(self, Decision::Move(_))
+    }
+
+    /// Whether this decision terminates the agent.
+    #[must_use]
+    pub const fn is_terminate(self) -> bool {
+        matches!(self, Decision::Terminate)
+    }
+}
+
+impl fmt::Display for Decision {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Decision::Move(d) => write!(f, "move-{d}"),
+            Decision::Stay => write!(f, "stay"),
+            Decision::Retreat => write!(f, "retreat"),
+            Decision::Terminate => write!(f, "terminate"),
+        }
+    }
+}
+
+impl From<LocalDirection> for Decision {
+    fn from(dir: LocalDirection) -> Self {
+        Decision::Move(dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn move_direction_is_only_for_moves() {
+        assert_eq!(Decision::Move(LocalDirection::Left).move_direction(), Some(LocalDirection::Left));
+        assert_eq!(Decision::Stay.move_direction(), None);
+        assert_eq!(Decision::Retreat.move_direction(), None);
+        assert_eq!(Decision::Terminate.move_direction(), None);
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Decision::Move(LocalDirection::Right).is_move());
+        assert!(!Decision::Stay.is_move());
+        assert!(Decision::Terminate.is_terminate());
+        assert!(!Decision::Retreat.is_terminate());
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(Decision::Move(LocalDirection::Left).to_string(), "move-left");
+        assert_eq!(Decision::Stay.to_string(), "stay");
+        assert_eq!(Decision::from(LocalDirection::Right), Decision::Move(LocalDirection::Right));
+    }
+}

@@ -1,0 +1,264 @@
+//! A-priori knowledge, synchrony levels and transport models.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The transport models of the semi-synchronous setting (Section 2.1).
+///
+/// They differ in what may happen to an agent *sleeping on a port* (an agent
+/// that gained access to a port, found the edge missing, and was not
+/// activated in a later round).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransportModel {
+    /// **NS** — No Simultaneity: a sleeping agent never moves; there is no
+    /// guarantee it is ever awake while its edge is present.
+    NoSimultaneity,
+    /// **PT** — Passive Transport: if the edge reappears while the agent is
+    /// sleeping on the port, the agent is carried to the other endpoint.
+    PassiveTransport,
+    /// **ET** — Eventual Transport: a sleeping agent never moves passively,
+    /// but if its edge is present infinitely often it is eventually activated
+    /// in a round in which the edge is present.
+    EventualTransport,
+}
+
+impl fmt::Display for TransportModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportModel::NoSimultaneity => write!(f, "NS"),
+            TransportModel::PassiveTransport => write!(f, "PT"),
+            TransportModel::EventualTransport => write!(f, "ET"),
+        }
+    }
+}
+
+/// The synchrony level of the activation schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SynchronyModel {
+    /// Fully synchronous: every agent is active in every round.
+    Fsync,
+    /// Semi-synchronous: an adversary activates a non-empty subset of agents
+    /// each round (every agent infinitely often), with the given behaviour
+    /// for agents sleeping on ports.
+    Ssync(TransportModel),
+}
+
+impl SynchronyModel {
+    /// The transport model, if the system is semi-synchronous.
+    #[must_use]
+    pub const fn transport(self) -> Option<TransportModel> {
+        match self {
+            SynchronyModel::Fsync => None,
+            SynchronyModel::Ssync(t) => Some(t),
+        }
+    }
+
+    /// Whether the system is fully synchronous.
+    #[must_use]
+    pub const fn is_fsync(self) -> bool {
+        matches!(self, SynchronyModel::Fsync)
+    }
+}
+
+impl fmt::Display for SynchronyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SynchronyModel::Fsync => write!(f, "FSYNC"),
+            SynchronyModel::Ssync(t) => write!(f, "SSYNC/{t}"),
+        }
+    }
+}
+
+/// What an agent knows a priori about the ring and the team.
+///
+/// All fields default to "knows nothing": anonymous agent, no size
+/// information, no chirality.
+///
+/// ```
+/// use dynring_model::Knowledge;
+/// let k = Knowledge::default().with_upper_bound(16).with_chirality();
+/// assert_eq!(k.upper_bound, Some(16));
+/// assert!(k.has_chirality);
+/// assert_eq!(k.best_upper_bound(), Some(16));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct Knowledge {
+    /// The exact ring size `n`, if known.
+    pub exact_size: Option<usize>,
+    /// An upper bound `N ≥ n` on the ring size, if known.
+    pub upper_bound: Option<usize>,
+    /// Whether all agents share (and know they share) the same orientation.
+    pub has_chirality: bool,
+    /// A distinct identifier, granted only in scenarios that show an
+    /// impossibility holds *even with* distinct IDs. Constructive protocols
+    /// in this crate never read it.
+    pub distinct_id: Option<u64>,
+    /// The number of agents operating in the ring, if known.
+    pub agent_count: Option<usize>,
+}
+
+impl Knowledge {
+    /// Knowledge of nothing at all (anonymous, no size info, no chirality).
+    #[must_use]
+    pub fn nothing() -> Self {
+        Knowledge::default()
+    }
+
+    /// Adds knowledge of the exact ring size.
+    #[must_use]
+    pub fn with_exact_size(mut self, n: usize) -> Self {
+        self.exact_size = Some(n);
+        self
+    }
+
+    /// Adds knowledge of an upper bound on the ring size.
+    #[must_use]
+    pub fn with_upper_bound(mut self, bound: usize) -> Self {
+        self.upper_bound = Some(bound);
+        self
+    }
+
+    /// Declares that the agents share a common orientation and know it.
+    #[must_use]
+    pub fn with_chirality(mut self) -> Self {
+        self.has_chirality = true;
+        self
+    }
+
+    /// Grants a distinct identifier (impossibility scenarios only).
+    #[must_use]
+    pub fn with_distinct_id(mut self, id: u64) -> Self {
+        self.distinct_id = Some(id);
+        self
+    }
+
+    /// Adds knowledge of the number of agents.
+    #[must_use]
+    pub fn with_agent_count(mut self, count: usize) -> Self {
+        self.agent_count = Some(count);
+        self
+    }
+
+    /// The tightest upper bound derivable from this knowledge: the exact size
+    /// if known, otherwise the upper bound, otherwise `None`.
+    #[must_use]
+    pub fn best_upper_bound(&self) -> Option<usize> {
+        self.exact_size.or(self.upper_bound)
+    }
+}
+
+/// A compact description of a scenario's assumptions, used by the analysis
+/// crate to label the rows of the feasibility map (Tables 1–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ScenarioAssumptions {
+    /// Synchrony level and transport model.
+    pub synchrony: SynchronyModel,
+    /// Number of agents deployed.
+    pub agents: usize,
+    /// Whether the agents share chirality.
+    pub chirality: bool,
+    /// Whether the ring has a landmark node.
+    pub landmark: bool,
+    /// Whether the exact ring size is known.
+    pub knows_exact_size: bool,
+    /// Whether an upper bound on the ring size is known.
+    pub knows_upper_bound: bool,
+    /// Whether the agents are anonymous (no distinct IDs).
+    pub anonymous_agents: bool,
+}
+
+impl fmt::Display for ScenarioAssumptions {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<&str> = Vec::new();
+        if self.chirality {
+            parts.push("chirality");
+        }
+        if self.landmark {
+            parts.push("landmark");
+        }
+        if self.knows_exact_size {
+            parts.push("known n");
+        } else if self.knows_upper_bound {
+            parts.push("known bound N");
+        }
+        if !self.anonymous_agents {
+            parts.push("distinct IDs");
+        }
+        write!(f, "{} {} agents", self.synchrony, self.agents)?;
+        if !parts.is_empty() {
+            write!(f, " [{}]", parts.join(", "))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transport_and_synchrony_display() {
+        assert_eq!(TransportModel::NoSimultaneity.to_string(), "NS");
+        assert_eq!(TransportModel::PassiveTransport.to_string(), "PT");
+        assert_eq!(TransportModel::EventualTransport.to_string(), "ET");
+        assert_eq!(SynchronyModel::Fsync.to_string(), "FSYNC");
+        assert_eq!(
+            SynchronyModel::Ssync(TransportModel::PassiveTransport).to_string(),
+            "SSYNC/PT"
+        );
+    }
+
+    #[test]
+    fn synchrony_helpers() {
+        assert!(SynchronyModel::Fsync.is_fsync());
+        assert_eq!(SynchronyModel::Fsync.transport(), None);
+        let s = SynchronyModel::Ssync(TransportModel::EventualTransport);
+        assert!(!s.is_fsync());
+        assert_eq!(s.transport(), Some(TransportModel::EventualTransport));
+    }
+
+    #[test]
+    fn knowledge_builders_compose() {
+        let k = Knowledge::nothing()
+            .with_exact_size(10)
+            .with_upper_bound(20)
+            .with_chirality()
+            .with_distinct_id(3)
+            .with_agent_count(2);
+        assert_eq!(k.exact_size, Some(10));
+        assert_eq!(k.upper_bound, Some(20));
+        assert!(k.has_chirality);
+        assert_eq!(k.distinct_id, Some(3));
+        assert_eq!(k.agent_count, Some(2));
+        assert_eq!(k.best_upper_bound(), Some(10));
+    }
+
+    #[test]
+    fn best_upper_bound_prefers_exact_size() {
+        assert_eq!(Knowledge::nothing().best_upper_bound(), None);
+        assert_eq!(Knowledge::nothing().with_upper_bound(7).best_upper_bound(), Some(7));
+        assert_eq!(
+            Knowledge::nothing().with_exact_size(5).with_upper_bound(7).best_upper_bound(),
+            Some(5)
+        );
+    }
+
+    #[test]
+    fn assumptions_display_mentions_key_facts() {
+        let a = ScenarioAssumptions {
+            synchrony: SynchronyModel::Ssync(TransportModel::PassiveTransport),
+            agents: 3,
+            chirality: false,
+            landmark: true,
+            knows_exact_size: false,
+            knows_upper_bound: true,
+            anonymous_agents: true,
+        };
+        let s = a.to_string();
+        assert!(s.contains("SSYNC/PT"));
+        assert!(s.contains("3 agents"));
+        assert!(s.contains("landmark"));
+        assert!(s.contains("known bound N"));
+        assert!(!s.contains("distinct IDs"));
+    }
+}

@@ -1,0 +1,179 @@
+//! The protocol trait implemented by every exploration algorithm.
+
+use crate::decision::Decision;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The termination discipline an algorithm promises (Section 1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TerminationKind {
+    /// Every agent eventually enters a terminal state and stops moving.
+    Explicit,
+    /// At least one agent eventually enters a terminal state and stops
+    /// moving (the others may keep moving or wait on a port forever).
+    Partial,
+    /// Agents are never required to stop (unconscious exploration).
+    Unconscious,
+}
+
+impl fmt::Display for TerminationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TerminationKind::Explicit => write!(f, "explicit termination"),
+            TerminationKind::Partial => write!(f, "partial termination"),
+            TerminationKind::Unconscious => write!(f, "unconscious exploration"),
+        }
+    }
+}
+
+/// A deterministic exploration protocol executed identically by every agent.
+///
+/// The engine drives a protocol through the Look–Compute–Move cycle: on every
+/// activation it presents the [`Snapshot`] produced by **Look** and receives
+/// the [`Decision`] produced by **Compute**. All persistent memory lives in
+/// the implementing type.
+///
+/// Protocols must be deterministic (the paper's algorithms all are), which the
+/// engine exploits in two ways:
+///
+/// * adversaries may *predict* an agent's decision by cloning the protocol
+///   (via [`Protocol::clone_box`]) and dry-running it, exactly as the
+///   omniscient adversaries in the impossibility proofs do;
+/// * recorded executions can be replayed.
+///
+/// # Implementing
+///
+/// ```
+/// use dynring_model::{Decision, LocalDirection, Protocol, Snapshot, TerminationKind};
+///
+/// /// An agent that walks left forever (it cannot explore alone — Corollary 1).
+/// #[derive(Debug, Clone, Default)]
+/// struct LeftWalker;
+///
+/// impl Protocol for LeftWalker {
+///     fn name(&self) -> &'static str { "left-walker" }
+///     fn termination_kind(&self) -> TerminationKind { TerminationKind::Unconscious }
+///     fn decide(&mut self, _snapshot: &Snapshot) -> Decision {
+///         Decision::Move(LocalDirection::Left)
+///     }
+///     fn has_terminated(&self) -> bool { false }
+///     fn clone_box(&self) -> Box<dyn Protocol> { Box::new(self.clone()) }
+/// }
+/// ```
+pub trait Protocol: Send + fmt::Debug {
+    /// A short, stable, human-readable name of the algorithm (used in traces,
+    /// reports and benchmarks).
+    fn name(&self) -> &'static str;
+
+    /// The termination discipline this protocol is designed to achieve.
+    fn termination_kind(&self) -> TerminationKind;
+
+    /// One **Compute** step: given the snapshot of the current activation,
+    /// return the decision for this round. Called only while the agent is
+    /// active and not terminated.
+    fn decide(&mut self, snapshot: &Snapshot) -> Decision;
+
+    /// Whether the agent has entered its terminal state. Once `true`, the
+    /// engine never activates the agent again and it never moves.
+    fn has_terminated(&self) -> bool;
+
+    /// Clones the protocol together with its full internal state.
+    fn clone_box(&self) -> Box<dyn Protocol>;
+
+    /// A free-form description of the internal state for traces and
+    /// debugging; the default implementation uses the `Debug` representation.
+    fn state_label(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+/// Owned, type-erased protocol instance.
+pub type BoxedProtocol = Box<dyn Protocol>;
+
+impl Clone for BoxedProtocol {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{LocalDirection, LocalPosition, NodeOccupancy, PriorOutcome};
+
+    #[derive(Debug, Clone)]
+    struct Alternator {
+        next_left: bool,
+        steps: u32,
+    }
+
+    impl Protocol for Alternator {
+        fn name(&self) -> &'static str {
+            "alternator"
+        }
+
+        fn termination_kind(&self) -> TerminationKind {
+            TerminationKind::Explicit
+        }
+
+        fn decide(&mut self, _snapshot: &Snapshot) -> Decision {
+            self.steps += 1;
+            if self.steps > 3 {
+                return Decision::Terminate;
+            }
+            let dir = if self.next_left { LocalDirection::Left } else { LocalDirection::Right };
+            self.next_left = !self.next_left;
+            Decision::Move(dir)
+        }
+
+        fn has_terminated(&self) -> bool {
+            self.steps > 3
+        }
+
+        fn clone_box(&self) -> BoxedProtocol {
+            Box::new(self.clone())
+        }
+    }
+
+    fn snap() -> Snapshot {
+        Snapshot {
+            position: LocalPosition::InNode,
+            is_landmark: false,
+            occupancy: NodeOccupancy::default(),
+            prior: PriorOutcome::Idle,
+            round_hint: Some(1),
+        }
+    }
+
+    #[test]
+    fn boxed_clone_preserves_state() {
+        let mut original: BoxedProtocol = Box::new(Alternator { next_left: true, steps: 0 });
+        assert_eq!(original.decide(&snap()), Decision::Move(LocalDirection::Left));
+        let mut copy = original.clone();
+        // Both the copy and the original continue from the same state.
+        assert_eq!(copy.decide(&snap()), Decision::Move(LocalDirection::Right));
+        assert_eq!(original.decide(&snap()), Decision::Move(LocalDirection::Right));
+    }
+
+    #[test]
+    fn termination_flag_follows_decisions() {
+        let mut p = Alternator { next_left: true, steps: 0 };
+        for _ in 0..3 {
+            assert!(!p.has_terminated());
+            let _ = p.decide(&snap());
+        }
+        assert_eq!(p.decide(&snap()), Decision::Terminate);
+        assert!(p.has_terminated());
+        assert_eq!(p.name(), "alternator");
+        assert_eq!(p.termination_kind(), TerminationKind::Explicit);
+        assert!(p.state_label().contains("Alternator"));
+    }
+
+    #[test]
+    fn termination_kind_display() {
+        assert_eq!(TerminationKind::Explicit.to_string(), "explicit termination");
+        assert_eq!(TerminationKind::Partial.to_string(), "partial termination");
+        assert_eq!(TerminationKind::Unconscious.to_string(), "unconscious exploration");
+    }
+}

@@ -1,0 +1,333 @@
+//! The **Look** operation: local directions, positions and snapshots.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Not;
+
+/// A direction in the agent's own (private) frame.
+///
+/// The mapping of `Left`/`Right` onto the global clockwise/counter-clockwise
+/// directions is the agent's handedness and is resolved by the engine; the
+/// protocol never learns it (unless the scenario has chirality, in which case
+/// all agents share the same mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalDirection {
+    /// The agent's local `left`.
+    Left,
+    /// The agent's local `right`.
+    Right,
+}
+
+impl LocalDirection {
+    /// The opposite local direction.
+    ///
+    /// ```
+    /// use dynring_model::LocalDirection;
+    /// assert_eq!(LocalDirection::Left.opposite(), LocalDirection::Right);
+    /// ```
+    #[must_use]
+    pub const fn opposite(self) -> Self {
+        match self {
+            LocalDirection::Left => LocalDirection::Right,
+            LocalDirection::Right => LocalDirection::Left,
+        }
+    }
+
+    /// Both local directions in a fixed order.
+    #[must_use]
+    pub const fn both() -> [LocalDirection; 2] {
+        [LocalDirection::Left, LocalDirection::Right]
+    }
+}
+
+impl Not for LocalDirection {
+    type Output = LocalDirection;
+
+    fn not(self) -> Self::Output {
+        self.opposite()
+    }
+}
+
+impl fmt::Display for LocalDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalDirection::Left => write!(f, "left"),
+            LocalDirection::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// Where the agent currently stands *within* its node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LocalPosition {
+    /// In the body of the node (not holding any port).
+    InNode,
+    /// Positioned on (and holding) the port in the given local direction —
+    /// typically because a previous traversal attempt found the edge missing.
+    OnPort(LocalDirection),
+}
+
+impl LocalPosition {
+    /// Whether the agent is in the node body.
+    #[must_use]
+    pub const fn is_in_node(self) -> bool {
+        matches!(self, LocalPosition::InNode)
+    }
+
+    /// The port the agent holds, if any.
+    #[must_use]
+    pub const fn held_port(self) -> Option<LocalDirection> {
+        match self {
+            LocalPosition::InNode => None,
+            LocalPosition::OnPort(d) => Some(d),
+        }
+    }
+}
+
+impl fmt::Display for LocalPosition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocalPosition::InNode => write!(f, "in-node"),
+            LocalPosition::OnPort(d) => write!(f, "on-{d}-port"),
+        }
+    }
+}
+
+/// Outcome of the agent's previous activation, as visible to the agent itself
+/// (its private `moved` flag and the port-access result).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum PriorOutcome {
+    /// First activation, or the previous decision did not attempt a move.
+    #[default]
+    Idle,
+    /// The previous traversal attempt succeeded (`moved = true`).
+    Moved,
+    /// The agent positioned itself on the port but the edge was missing; it
+    /// is still waiting on that port (`moved = false`).
+    BlockedOnPort,
+    /// The agent could not even acquire the port because another agent held
+    /// it — the paper's `failed` predicate (`moved = false`).
+    PortAcquisitionFailed,
+    /// Passive Transport only: while the agent was asleep on a port the edge
+    /// reappeared and the agent was carried to the other endpoint.
+    Transported,
+}
+
+impl PriorOutcome {
+    /// Whether the previous activation ended with a successful change of node
+    /// (an active move or a passive transport).
+    #[must_use]
+    pub const fn changed_node(self) -> bool {
+        matches!(self, PriorOutcome::Moved | PriorOutcome::Transported)
+    }
+}
+
+/// The other agents the **Look** operation reveals at the agent's node.
+///
+/// Counts exclude the observing agent itself. `on_left_port` / `on_right_port`
+/// are expressed in the *observing agent's* frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct NodeOccupancy {
+    /// Other agents standing in the node body.
+    pub in_node: usize,
+    /// Other agents holding the port in the observer's `left` direction.
+    pub on_left_port: usize,
+    /// Other agents holding the port in the observer's `right` direction.
+    pub on_right_port: usize,
+}
+
+impl NodeOccupancy {
+    /// Total number of other agents visible at this node.
+    #[must_use]
+    pub const fn total(&self) -> usize {
+        self.in_node + self.on_left_port + self.on_right_port
+    }
+
+    /// Number of other agents on the port in the given local direction.
+    #[must_use]
+    pub const fn on_port(&self, dir: LocalDirection) -> usize {
+        match dir {
+            LocalDirection::Left => self.on_left_port,
+            LocalDirection::Right => self.on_right_port,
+        }
+    }
+}
+
+/// The full result of a **Look** operation.
+///
+/// This is all the information a protocol may use in its **Compute** step,
+/// together with its own persistent memory.
+///
+/// ```
+/// use dynring_model::{Snapshot, LocalPosition, LocalDirection, NodeOccupancy, PriorOutcome};
+///
+/// let snap = Snapshot {
+///     position: LocalPosition::InNode,
+///     is_landmark: false,
+///     occupancy: NodeOccupancy { in_node: 0, on_left_port: 1, on_right_port: 0 },
+///     prior: PriorOutcome::Moved,
+///     round_hint: None,
+/// };
+/// // The paper's `catches` predicate: the observer is in the node and sees
+/// // another agent on the port in its moving direction.
+/// assert!(snap.catches(LocalDirection::Left));
+/// assert!(!snap.catches(LocalDirection::Right));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Snapshot {
+    /// The agent's own position within the node.
+    pub position: LocalPosition,
+    /// Whether this node is the landmark (always `false` on anonymous rings).
+    pub is_landmark: bool,
+    /// The other agents visible at this node.
+    pub occupancy: NodeOccupancy,
+    /// The outcome of the agent's previous activation.
+    pub prior: PriorOutcome,
+    /// Round number, provided **only** in fully synchronous scenarios where
+    /// agents may count rounds implicitly (every agent is activated every
+    /// round, so this carries no extra information); `None` under SSYNC.
+    pub round_hint: Option<u64>,
+}
+
+impl Snapshot {
+    /// The paper's `meeting` predicate: the observer stands in the node and at
+    /// least one other agent stands in the node as well.
+    #[must_use]
+    pub fn meeting(&self) -> bool {
+        self.position.is_in_node() && self.occupancy.in_node > 0
+    }
+
+    /// The paper's `catches` predicate: the observer is in the node and sees
+    /// another agent on the port corresponding to `moving_direction`.
+    #[must_use]
+    pub fn catches(&self, moving_direction: LocalDirection) -> bool {
+        self.position.is_in_node() && self.occupancy.on_port(moving_direction) > 0
+    }
+
+    /// The paper's `caught` predicate: the observer is on a port after a
+    /// failed move (the edge was missing) and another agent is observed in
+    /// the node.
+    #[must_use]
+    pub fn caught(&self) -> bool {
+        matches!(self.position, LocalPosition::OnPort(_))
+            && self.prior == PriorOutcome::BlockedOnPort
+            && self.occupancy.in_node > 0
+    }
+
+    /// The paper's `failed` predicate: the previous attempt to enter a port
+    /// was denied because the port was already occupied.
+    #[must_use]
+    pub fn failed(&self) -> bool {
+        self.prior == PriorOutcome::PortAcquisitionFailed
+    }
+
+    /// Whether any other agent is visible at this node (in the node body or
+    /// on either port).
+    #[must_use]
+    pub fn sees_other_agent(&self) -> bool {
+        self.occupancy.total() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Snapshot {
+        Snapshot {
+            position: LocalPosition::InNode,
+            is_landmark: false,
+            occupancy: NodeOccupancy::default(),
+            prior: PriorOutcome::Idle,
+            round_hint: None,
+        }
+    }
+
+    #[test]
+    fn local_direction_opposite_is_involution() {
+        for d in LocalDirection::both() {
+            assert_eq!(d.opposite().opposite(), d);
+            assert_eq!(!(!d), d);
+        }
+        assert_eq!(LocalDirection::Left.to_string(), "left");
+        assert_eq!(LocalDirection::Right.to_string(), "right");
+    }
+
+    #[test]
+    fn local_position_helpers() {
+        assert!(LocalPosition::InNode.is_in_node());
+        assert_eq!(LocalPosition::InNode.held_port(), None);
+        let p = LocalPosition::OnPort(LocalDirection::Right);
+        assert!(!p.is_in_node());
+        assert_eq!(p.held_port(), Some(LocalDirection::Right));
+        assert_eq!(p.to_string(), "on-right-port");
+    }
+
+    #[test]
+    fn prior_outcome_changed_node() {
+        assert!(PriorOutcome::Moved.changed_node());
+        assert!(PriorOutcome::Transported.changed_node());
+        assert!(!PriorOutcome::BlockedOnPort.changed_node());
+        assert!(!PriorOutcome::PortAcquisitionFailed.changed_node());
+        assert!(!PriorOutcome::Idle.changed_node());
+    }
+
+    #[test]
+    fn occupancy_counts() {
+        let occ = NodeOccupancy { in_node: 2, on_left_port: 1, on_right_port: 0 };
+        assert_eq!(occ.total(), 3);
+        assert_eq!(occ.on_port(LocalDirection::Left), 1);
+        assert_eq!(occ.on_port(LocalDirection::Right), 0);
+    }
+
+    #[test]
+    fn meeting_requires_both_in_node() {
+        let mut s = base();
+        assert!(!s.meeting());
+        s.occupancy.in_node = 1;
+        assert!(s.meeting());
+        s.position = LocalPosition::OnPort(LocalDirection::Left);
+        assert!(!s.meeting());
+    }
+
+    #[test]
+    fn catches_requires_observer_in_node_and_other_on_moving_port() {
+        let mut s = base();
+        s.occupancy.on_right_port = 1;
+        assert!(s.catches(LocalDirection::Right));
+        assert!(!s.catches(LocalDirection::Left));
+        s.position = LocalPosition::OnPort(LocalDirection::Left);
+        assert!(!s.catches(LocalDirection::Right));
+    }
+
+    #[test]
+    fn caught_requires_blocked_on_port_and_other_in_node() {
+        let mut s = base();
+        s.position = LocalPosition::OnPort(LocalDirection::Left);
+        s.prior = PriorOutcome::BlockedOnPort;
+        assert!(!s.caught());
+        s.occupancy.in_node = 1;
+        assert!(s.caught());
+        s.prior = PriorOutcome::Moved;
+        assert!(!s.caught());
+        s.prior = PriorOutcome::BlockedOnPort;
+        s.position = LocalPosition::InNode;
+        assert!(!s.caught());
+    }
+
+    #[test]
+    fn failed_predicate_tracks_port_acquisition() {
+        let mut s = base();
+        assert!(!s.failed());
+        s.prior = PriorOutcome::PortAcquisitionFailed;
+        assert!(s.failed());
+    }
+
+    #[test]
+    fn sees_other_agent() {
+        let mut s = base();
+        assert!(!s.sees_other_agent());
+        s.occupancy.on_left_port = 1;
+        assert!(s.sees_other_agent());
+    }
+}

@@ -1,0 +1,52 @@
+//! Regenerates the paper's feasibility map (Tables 1–4) and the figure
+//! experiments, printing them as markdown tables.
+//!
+//! This is the programme behind `EXPERIMENTS.md`. Ring sizes are kept small
+//! so the whole map runs in a couple of minutes; pass `--large` for the
+//! larger sweep used in the benchmark harness.
+//!
+//! ```bash
+//! cargo run --release --example feasibility_map
+//! ```
+
+use dynring_analysis::{figures, lower_bounds, markdown_table, tables};
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let (fsync_sizes, ssync_sizes, seeds): (Vec<usize>, Vec<usize>, u64) = if large {
+        (vec![8, 16, 32, 64], vec![6, 9, 12, 16], 3)
+    } else {
+        (vec![6, 9, 12], vec![6, 8], 1)
+    };
+
+    println!("# Feasibility map of Live Exploration of Dynamic Rings\n");
+
+    let t1 = tables::table1(16);
+    println!("{}", markdown_table("Table 1 — FSYNC impossibility results", &t1));
+
+    let t2 = tables::table2(&fsync_sizes, seeds);
+    println!("{}", markdown_table("Table 2 — FSYNC possibility results", &t2));
+
+    let t3 = tables::table3(10);
+    println!("{}", markdown_table("Table 3 — SSYNC impossibility results", &t3));
+
+    let t4 = tables::table4(&ssync_sizes, seeds);
+    println!("{}", markdown_table("Table 4 — SSYNC possibility results", &t4));
+
+    let figs = figures::all_figures(12);
+    println!("{}", markdown_table("Figures 2, 5–7, 12, 15, 16", &figs));
+
+    let mut lb = vec![lower_bounds::theorem4(12)];
+    lb.extend(lower_bounds::theorem13_15(&ssync_sizes, seeds));
+    println!("{}", markdown_table("Lower bounds (Theorems 4, 13, 15)", &lb));
+
+    let all_hold = t1
+        .iter()
+        .chain(&t2)
+        .chain(&t3)
+        .chain(&t4)
+        .chain(&figs)
+        .chain(&lb)
+        .all(|row| row.holds);
+    println!("\nAll rows consistent with the paper: {}", if all_hold { "yes" } else { "NO" });
+}

@@ -1,0 +1,88 @@
+//! Property-based tests of the engine's structural invariants: whatever the
+//! protocol, adversary and scheduler, recorded traces respect the model of
+//! Section 2 (one edge missing per round, port mutual exclusion, unit moves,
+//! terminated agents never move again).
+
+use dynring::prelude::*;
+use dynring_analysis::scenario::{AdversaryKind, Scenario};
+use proptest::prelude::*;
+
+fn adversary_from_index(i: usize, n: usize, seed: u64) -> AdversaryKind {
+    match i % 6 {
+        0 => AdversaryKind::Static,
+        1 => AdversaryKind::Random { p: 0.8, seed },
+        2 => AdversaryKind::Sticky { min_hold: 1, max_hold: n as u64, present: 0.2, seed },
+        3 => AdversaryKind::BlockForever { edge: seed as usize % n },
+        4 => AdversaryKind::PreventMeeting,
+        _ => AdversaryKind::Alternating { first: 0, second: n / 2 },
+    }
+}
+
+fn algorithm_from_index(i: usize, n: usize) -> Algorithm {
+    match i % 7 {
+        0 => Algorithm::KnownBound { upper_bound: n },
+        1 => Algorithm::Unconscious,
+        2 => Algorithm::LandmarkChirality,
+        3 => Algorithm::PtBoundChirality { upper_bound: n },
+        4 => Algorithm::PtBoundNoChirality { upper_bound: n },
+        5 => Algorithm::EtUnconscious,
+        _ => Algorithm::LoneWalker { patience: 2 },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn traces_respect_the_model(
+        n in 4usize..12,
+        alg_index in 0usize..7,
+        adv_index in 0usize..6,
+        ssync in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let algorithm = algorithm_from_index(alg_index, n);
+        let mut scenario = if ssync && !matches!(algorithm, Algorithm::LoneWalker { .. }) {
+            Scenario::ssync(n, algorithm, seed)
+        } else {
+            Scenario::fsync(n, algorithm)
+        };
+        scenario.record_trace = true;
+        let scenario = scenario
+            .with_adversary(adversary_from_index(adv_index, n, seed))
+            .with_stop(StopCondition::RoundBudget)
+            .with_max_rounds(30 * n as u64);
+        let mut sim = scenario.build();
+        let _ = sim.run(30 * n as u64, StopCondition::RoundBudget);
+        let trace = sim.trace().expect("trace recording enabled");
+        prop_assert!(trace.len() as u64 <= 30 * n as u64);
+        if let Err(violation) = trace.check_invariants(n) {
+            return Err(TestCaseError::fail(format!("{algorithm}: {violation}")));
+        }
+        // Visited counts are monotone and never exceed the ring size.
+        let mut last = 0usize;
+        for record in trace.rounds() {
+            prop_assert!(record.visited_count >= last);
+            prop_assert!(record.visited_count <= n);
+            last = record.visited_count;
+        }
+    }
+
+    /// The exploration round reported by the simulation matches the trace.
+    #[test]
+    fn exploration_round_matches_trace(n in 4usize..10, seed in any::<u64>()) {
+        let mut scenario = Scenario::fsync(n, Algorithm::KnownBound { upper_bound: n });
+        scenario.record_trace = true;
+        let scenario = scenario.with_adversary(AdversaryKind::Sticky {
+            min_hold: 1,
+            max_hold: n as u64,
+            present: 0.3,
+            seed,
+        });
+        let mut sim = scenario.build();
+        let report = sim.run(20 * n as u64, StopCondition::AllTerminated);
+        let trace = sim.trace().expect("trace recording enabled");
+        prop_assert_eq!(report.explored_at, trace.exploration_round(n));
+        prop_assert_eq!(report.total_moves as usize, trace.total_traversals());
+    }
+}

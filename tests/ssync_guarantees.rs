@@ -1,0 +1,99 @@
+//! Cross-crate integration tests for the semi-synchronous results of
+//! Section 4 (PT and ET transport models).
+
+use dynring::prelude::*;
+use dynring_analysis::scenario::{AdversaryKind, Scenario, SchedulerKind};
+use proptest::prelude::*;
+
+/// Theorem 9: in the NS model the first-mover adversary freezes any protocol.
+#[test]
+fn ns_model_freezes_every_protocol() {
+    let n = 9;
+    for algorithm in [
+        Algorithm::PtBoundChirality { upper_bound: n },
+        Algorithm::PtBoundNoChirality { upper_bound: n },
+        Algorithm::EtUnconscious,
+        Algorithm::LandmarkChirality,
+    ] {
+        let mut scenario = Scenario::fsync(n, algorithm);
+        scenario.synchrony = SynchronyModel::Ssync(TransportModel::NoSimultaneity);
+        let report = scenario
+            .with_scheduler(SchedulerKind::FirstMoverOnly)
+            .with_adversary(AdversaryKind::BlockFirstMover)
+            .with_stop(StopCondition::RoundBudget)
+            .with_max_rounds(60 * n as u64)
+            .run();
+        assert_eq!(report.total_moves, 0, "{algorithm}");
+        assert!(!report.explored(), "{algorithm}");
+    }
+}
+
+/// Theorem 12 under a permanently missing edge: exploration, one agent
+/// terminates, the other waits on the missing edge forever.
+#[test]
+fn pt_bound_chirality_under_permanent_block() {
+    let n = 8;
+    for blocked in 0..n {
+        let report = Scenario::ssync(n, Algorithm::PtBoundChirality { upper_bound: n }, 3)
+            .with_adversary(AdversaryKind::BlockForever { edge: blocked })
+            .with_stop(StopCondition::RoundBudget)
+            .with_max_rounds(200 * n as u64)
+            .run();
+        assert!(report.explored(), "blocked {blocked}");
+        assert!(report.partially_terminated(), "blocked {blocked}");
+        assert!(!report.all_terminated, "blocked {blocked}: Theorem 11 forbids full termination here");
+    }
+}
+
+/// Theorem 20: the ET algorithm with exact knowledge explores and partially
+/// terminates under an ET-fair scheduler, for every permanently blocked edge.
+#[test]
+fn et_exact_size_terminates_partially() {
+    let n = 7;
+    for blocked in 0..n {
+        let report = Scenario::ssync(n, Algorithm::EtBoundNoChirality { ring_size: n }, 5)
+            .with_adversary(AdversaryKind::BlockForever { edge: blocked })
+            .with_stop(StopCondition::ExploredAndPartialTermination)
+            .with_max_rounds(500 * (n as u64) * (n as u64))
+            .run();
+        assert!(report.explored(), "blocked {blocked}");
+        assert!(report.partially_terminated(), "blocked {blocked}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Theorem 12/14/16/17: the PT algorithms explore with partial
+    /// termination and their move count stays quadratically bounded under
+    /// random sticky dynamics and adversarial sleeping.
+    #[test]
+    fn pt_algorithms_explore_with_partial_termination(
+        n in 5usize..10,
+        seed in any::<u64>(),
+        which in 0usize..4,
+    ) {
+        let algorithm = match which {
+            0 => Algorithm::PtBoundChirality { upper_bound: n },
+            1 => Algorithm::PtLandmarkChirality,
+            2 => Algorithm::PtBoundNoChirality { upper_bound: n },
+            _ => Algorithm::PtLandmarkNoChirality,
+        };
+        let report = Scenario::ssync(n, algorithm, seed).run();
+        prop_assert!(report.explored(), "{algorithm}: visited {}/{}", report.visited_count, n);
+        prop_assert!(report.partially_terminated(), "{algorithm}");
+        let bound = 20 * (n as u64) * (n as u64) + 8 * n as u64 + 64;
+        prop_assert!(report.total_moves <= bound, "{algorithm}: {} moves > {bound}", report.total_moves);
+    }
+
+    /// Theorem 18: ET unconscious exploration completes under random sticky
+    /// dynamics with an ET-fair scheduler.
+    #[test]
+    fn et_unconscious_explores(n in 4usize..12, seed in any::<u64>()) {
+        let report = Scenario::ssync(n, Algorithm::EtUnconscious, seed)
+            .with_stop(StopCondition::Explored)
+            .run();
+        prop_assert!(report.explored(), "visited {}/{}", report.visited_count, n);
+        prop_assert!(!report.partially_terminated());
+    }
+}
