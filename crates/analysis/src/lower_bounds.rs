@@ -46,7 +46,8 @@ pub fn theorem4(ring_size: usize) -> RowResult {
 #[must_use]
 pub fn theorem13_15(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
     let mut rows = Vec::new();
-    let configs: [(&str, &str, Box<dyn Fn(usize) -> Algorithm>); 2] = [
+    type AlgorithmCtor = Box<dyn Fn(usize) -> Algorithm>;
+    let configs: [(&str, &str, AlgorithmCtor); 2] = [
         (
             "LB-T13",
             "Theorem 13 (known bound)",

@@ -49,7 +49,7 @@ fn binary_string(value: u64) -> Vec<u8> {
 fn duplicate(bits: &[u8], factor: usize) -> Vec<u8> {
     let mut out = Vec::with_capacity(bits.len() * factor);
     for &b in bits {
-        out.extend(std::iter::repeat(b).take(factor));
+        out.extend(std::iter::repeat_n(b, factor));
     }
     out
 }

@@ -429,7 +429,7 @@ impl LandmarkNoChirality {
                     .known_size()
                     .map(Self::termination_bound)
                     .expect("Happy is only entered once n is known");
-                if self.counters.ttime() >= bound + 1 {
+                if self.counters.ttime() > bound {
                     return self.enter_terminate();
                 }
                 if snapshot.catches(self.dir) {

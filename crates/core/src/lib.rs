@@ -16,8 +16,8 @@
 //!   (Fig. 1), [`fsync::Unconscious`] (Fig. 3),
 //!   [`fsync::LandmarkChirality`] (Fig. 4),
 //!   [`fsync::LandmarkNoChirality`] (Figs. 8 and 13) together with the ID
-//!   construction ([`fsync::ident`]) and the ID-driven direction sequences
-//!   ([`fsync::dirseq`]);
+//!   construction ([`fsync::AgentIdentifier`]) and the ID-driven direction
+//!   sequences ([`fsync::DirectionSequence`]);
 //! * [`ssync`] — semi-synchronous algorithms for the PT and ET transport
 //!   models: [`ssync::PtBoundChirality`] (Fig. 14),
 //!   [`ssync::PtLandmarkChirality`] (Fig. 17),

@@ -375,16 +375,14 @@ mod tests {
         let mut a = PtNoChirality::with_upper_bound(1000);
         let _ = a.decide(&plain(PriorOutcome::Idle));
         let _ = a.decide(&catches(LocalDirection::Left));
-        let mut length = 3u64;
         let mut dir = LocalDirection::Right;
-        for _ in 0..6 {
+        for length in 3u64..9 {
             for _ in 0..length {
                 assert_eq!(a.decide(&plain(PriorOutcome::Moved)), Decision::Move(dir));
             }
             let d = a.decide(&catches(dir));
             assert!(d.is_move(), "agent terminated although excursions keep growing");
             dir = dir.opposite();
-            length += 1;
         }
         assert!(!a.has_terminated());
     }

@@ -386,8 +386,8 @@ impl Simulation {
                 .collect();
 
         // 4. Resolution: port acquisition in mutual exclusion, then moves.
-        for index in 0..self.agents.len() {
-            let Some(decision) = decisions[index] else { continue };
+        for (index, decision) in decisions.iter().enumerate() {
+            let Some(decision) = *decision else { continue };
             match decision {
                 Decision::Terminate => {
                     let agent = &mut self.agents[index];

@@ -1,7 +1,7 @@
 //! The simulator's "god view" of the ring and the agents.
 //!
 //! Nothing in this module is visible to the protocols; they only ever receive
-//! [`Snapshot`](dynring_model::Snapshot)s built from it. Adversaries, on the
+//! [`dynring_model::Snapshot`]s built from it. Adversaries, on the
 //! other hand, receive the full [`RoundView`], including a prediction of what
 //! every agent would do if activated — this is legitimate because the
 //! protocols are deterministic, so an omniscient adversary could compute the

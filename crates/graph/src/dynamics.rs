@@ -206,14 +206,14 @@ impl ScheduleBuilder {
     #[must_use]
     pub fn remove_for(mut self, edge: EdgeId, rounds: u64) -> Self {
         assert!(edge.index() < self.ring_size, "edge {edge} out of range");
-        self.missing.extend(std::iter::repeat(Some(edge)).take(rounds as usize));
+        self.missing.extend(std::iter::repeat_n(Some(edge), rounds as usize));
         self
     }
 
     /// Appends `rounds` rounds in which every edge is present.
     #[must_use]
     pub fn all_present_for(mut self, rounds: u64) -> Self {
-        self.missing.extend(std::iter::repeat(None).take(rounds as usize));
+        self.missing.extend(std::iter::repeat_n(None, rounds as usize));
         self
     }
 

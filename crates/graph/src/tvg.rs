@@ -134,7 +134,7 @@ impl<'a, F: Footprint, P: Presence> EvolvingGraph<'a, F, P> {
             return true;
         }
         let mut parent: Vec<usize> = (0..n).collect();
-        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+        fn find(parent: &mut [usize], x: usize) -> usize {
             let mut root = x;
             while parent[root] != root {
                 root = parent[root];

@@ -11,33 +11,76 @@
 
 use dynring_analysis::{figures, lower_bounds, markdown_table, tables};
 
-fn main() {
-    let large = std::env::args().any(|a| a == "--large");
-    let (fsync_sizes, ssync_sizes, seeds): (Vec<usize>, Vec<usize>, u64) = if large {
-        (vec![8, 16, 32, 64], vec![6, 9, 12, 16], 3)
-    } else {
-        (vec![6, 9, 12], vec![6, 8], 1)
-    };
+/// Ring sizes and seed counts for one regeneration of the map.
+pub struct MapConfig {
+    /// Ring sizes for the FSYNC possibility rows (Table 2).
+    pub fsync_sizes: Vec<usize>,
+    /// Ring sizes for the SSYNC possibility and lower-bound rows (Table 4).
+    pub ssync_sizes: Vec<usize>,
+    /// Number of random seeds per scenario.
+    pub seeds: u64,
+    /// Ring size for the FSYNC impossibility rows (Table 1, minimum 12).
+    pub impossibility_n: usize,
+    /// Ring size for the SSYNC impossibility rows (Table 3, kept smaller
+    /// because its witnesses run quadratic-move algorithms to exhaustion).
+    pub ssync_impossibility_n: usize,
+    /// Ring size for the figure experiments.
+    pub figures_n: usize,
+    /// Ring size for the Theorem 4 lower-bound row.
+    pub lower_bound_n: usize,
+}
 
+impl MapConfig {
+    /// The small default map (a few seconds).
+    pub fn small() -> Self {
+        MapConfig {
+            fsync_sizes: vec![6, 9, 12],
+            ssync_sizes: vec![6, 8],
+            seeds: 1,
+            impossibility_n: 16,
+            ssync_impossibility_n: 10,
+            figures_n: 12,
+            lower_bound_n: 12,
+        }
+    }
+
+    /// The larger sweep used by the benchmark harness.
+    pub fn large() -> Self {
+        MapConfig {
+            fsync_sizes: vec![8, 16, 32, 64],
+            ssync_sizes: vec![6, 9, 12, 16],
+            seeds: 3,
+            impossibility_n: 16,
+            ssync_impossibility_n: 10,
+            figures_n: 12,
+            lower_bound_n: 12,
+        }
+    }
+}
+
+/// The example's core path, callable from the smoke tests: regenerates every
+/// table, figure and lower-bound row and returns whether all of them are
+/// consistent with the paper.
+pub fn run(config: &MapConfig) -> bool {
     println!("# Feasibility map of Live Exploration of Dynamic Rings\n");
 
-    let t1 = tables::table1(16);
+    let t1 = tables::table1(config.impossibility_n);
     println!("{}", markdown_table("Table 1 — FSYNC impossibility results", &t1));
 
-    let t2 = tables::table2(&fsync_sizes, seeds);
+    let t2 = tables::table2(&config.fsync_sizes, config.seeds);
     println!("{}", markdown_table("Table 2 — FSYNC possibility results", &t2));
 
-    let t3 = tables::table3(10);
+    let t3 = tables::table3(config.ssync_impossibility_n);
     println!("{}", markdown_table("Table 3 — SSYNC impossibility results", &t3));
 
-    let t4 = tables::table4(&ssync_sizes, seeds);
+    let t4 = tables::table4(&config.ssync_sizes, config.seeds);
     println!("{}", markdown_table("Table 4 — SSYNC possibility results", &t4));
 
-    let figs = figures::all_figures(12);
+    let figs = figures::all_figures(config.figures_n);
     println!("{}", markdown_table("Figures 2, 5–7, 12, 15, 16", &figs));
 
-    let mut lb = vec![lower_bounds::theorem4(12)];
-    lb.extend(lower_bounds::theorem13_15(&ssync_sizes, seeds));
+    let mut lb = vec![lower_bounds::theorem4(config.lower_bound_n)];
+    lb.extend(lower_bounds::theorem13_15(&config.ssync_sizes, config.seeds));
     println!("{}", markdown_table("Lower bounds (Theorems 4, 13, 15)", &lb));
 
     let all_hold = t1
@@ -49,4 +92,11 @@ fn main() {
         .chain(&lb)
         .all(|row| row.holds);
     println!("\nAll rows consistent with the paper: {}", if all_hold { "yes" } else { "NO" });
+    all_hold
+}
+
+fn main() {
+    let large = std::env::args().any(|a| a == "--large");
+    let config = if large { MapConfig::large() } else { MapConfig::small() };
+    assert!(run(&config), "feasibility map inconsistent with the paper");
 }

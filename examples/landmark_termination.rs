@@ -12,12 +12,16 @@
 use dynring_analysis::scenario::{AdversaryKind, Scenario};
 use dynring_core::fsync::LandmarkNoChirality;
 use dynring_core::Algorithm;
+use dynring_engine::RunReport;
 use dynring_graph::Handedness;
 
-fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(24);
+/// The example's core path, callable from the smoke tests: runs both landmark
+/// algorithms against three adversaries on a ring of `n` nodes and returns
+/// the labelled reports.
+pub fn run(n: usize) -> Vec<(&'static str, &'static str, RunReport)> {
     println!("== Landmark-based termination on a ring of {n} nodes ==\n");
 
+    let mut results = Vec::new();
     for (label, algorithm, orientations) in [
         (
             "with chirality (Fig. 4, O(n))",
@@ -42,13 +46,19 @@ fn main() {
                 .run();
             println!(
                 "{label:<42} vs {adv_label:<26} explored@{:<6?} terminated@{:?}",
-                report.explored_at,
-                report.termination_rounds
+                report.explored_at, report.termination_rounds
             );
+            results.push((label, adv_label, report));
         }
     }
     println!(
         "\npaper bounds: O(n) with chirality; without chirality the explicit bound is 32(3⌈log n⌉+3)·5n = {}",
         LandmarkNoChirality::termination_bound(n as u64)
     );
+    results
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(24);
+    run(n);
 }

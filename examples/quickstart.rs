@@ -11,14 +11,16 @@
 use dynring::prelude::*;
 use dynring_engine::render;
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let n = 12;
+/// The example's core path, callable from the smoke tests: explores a ring of
+/// `n` nodes and returns the final report after asserting the Theorem 3
+/// guarantees.
+pub fn run(n: usize) -> Result<RunReport, Box<dyn std::error::Error>> {
     let ring = RingTopology::new(n)?;
 
     let mut sim = Simulation::builder(ring.clone())
         .synchrony(SynchronyModel::Fsync)
         .agent(NodeId::new(0), Handedness::LeftIsCcw, Box::new(KnownBound::new(n)))
-        .agent(NodeId::new(5), Handedness::LeftIsCw, Box::new(KnownBound::new(n)))
+        .agent(NodeId::new(5 % n), Handedness::LeftIsCw, Box::new(KnownBound::new(n)))
         .activation(Box::new(FullActivation))
         .edges(Box::new(StickyRandomEdge::new(1, n as u64, 0.3, 42)))
         .record_trace(true)
@@ -35,5 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     assert!(report.explored(), "Theorem 3 guarantees exploration");
     assert!(report.all_terminated, "Theorem 3 guarantees explicit termination");
+    Ok(report)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    run(12)?;
     Ok(())
 }

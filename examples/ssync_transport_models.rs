@@ -10,7 +10,9 @@
 
 use dynring::prelude::*;
 
-fn run(model: TransportModel, n: usize) -> RunReport {
+/// The example's core path, callable from the smoke tests: runs one team of
+/// three agents under the given transport model and returns the report.
+pub fn run(model: TransportModel, n: usize) -> RunReport {
     let ring = RingTopology::new(n).expect("valid ring");
     let mut builder = Simulation::builder(ring)
         .synchrony(SynchronyModel::Ssync(model))

@@ -5,10 +5,12 @@
 //! cargo run --example worst_case_schedule -- 16
 //! ```
 
-use dynring_analysis::figures;
+use dynring_analysis::figures::{self, Figure2Outcome};
 
-fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+/// The example's core path, callable from the smoke tests: replays the
+/// Figure 2 schedule on a ring of `n` nodes, prints the comparison with a
+/// benign schedule, and returns the outcome.
+pub fn run(n: usize) -> Figure2Outcome {
     println!("== Figure 2 worst-case schedule ==\n");
     println!("ring size n = {n}; the paper's worst case is 3n − 6 = {}", 3 * n - 6);
 
@@ -32,4 +34,10 @@ fn main() {
         "\nfor comparison, with no missing edges the same agents explore by round {:?}",
         benign.explored_at
     );
+    outcome
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(16);
+    run(n);
 }

@@ -1,0 +1,76 @@
+//! Smoke tests keeping `examples/` honest: each example's core path is
+//! compiled into this test crate (via `#[path]` includes) and exercised with
+//! small parameters, so a change that breaks an example fails `cargo test`
+//! instead of rotting silently until someone runs `cargo run --example`.
+
+use dynring::prelude::*;
+
+#[path = "../examples/quickstart.rs"]
+#[allow(dead_code)]
+mod quickstart;
+
+#[path = "../examples/feasibility_map.rs"]
+#[allow(dead_code)]
+mod feasibility_map;
+
+#[path = "../examples/landmark_termination.rs"]
+#[allow(dead_code)]
+mod landmark_termination;
+
+#[path = "../examples/ssync_transport_models.rs"]
+#[allow(dead_code)]
+mod ssync_transport_models;
+
+#[path = "../examples/worst_case_schedule.rs"]
+#[allow(dead_code)]
+mod worst_case_schedule;
+
+#[test]
+fn quickstart_explores_and_terminates() {
+    let report = quickstart::run(12).expect("quickstart example must succeed");
+    assert!(report.explored());
+    assert!(report.all_terminated);
+}
+
+#[test]
+fn feasibility_map_rows_all_hold() {
+    let config = feasibility_map::MapConfig {
+        fsync_sizes: vec![6, 9],
+        ssync_sizes: vec![6],
+        seeds: 1,
+        impossibility_n: 12,
+        ssync_impossibility_n: 8,
+        lower_bound_n: 12,
+        figures_n: 12,
+    };
+    assert!(feasibility_map::run(&config), "feasibility map inconsistent with the paper");
+}
+
+#[test]
+fn landmark_termination_always_terminates() {
+    for (label, adv_label, report) in landmark_termination::run(10) {
+        assert!(report.explored(), "{label} vs {adv_label}");
+        assert!(report.all_terminated, "{label} vs {adv_label}");
+    }
+}
+
+#[test]
+fn ssync_transport_models_match_the_theorems() {
+    let n = 9;
+    // Theorem 9: NS freezes the team forever.
+    let ns = ssync_transport_models::run(TransportModel::NoSimultaneity, n);
+    assert!(!ns.explored());
+    assert_eq!(ns.total_moves, 0);
+    // Theorems 16 and 20: PT and ET explore with partial termination.
+    for model in [TransportModel::PassiveTransport, TransportModel::EventualTransport] {
+        let report = ssync_transport_models::run(model, n);
+        assert!(report.explored(), "{model}");
+        assert!(report.partially_terminated(), "{model}");
+    }
+}
+
+#[test]
+fn worst_case_schedule_reproduces_figure2() {
+    let outcome = worst_case_schedule::run(10);
+    assert!(outcome.matches(), "Figure 2 outcome diverged from 3n − 6");
+}

@@ -1,0 +1,213 @@
+//! Offline stub of `criterion` 0.5.
+//!
+//! The build container cannot reach crates.io, so this crate re-implements
+//! the subset of Criterion the benchmark harness uses: `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros. Timing
+//! is a straightforward wall-clock loop (warm-up, then sample for the
+//! configured measurement time) reporting mean ns/iter — no statistics,
+//! no plots, but honest numbers, and identical bench-target source code.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter, rendered as
+    /// `name/parameter` like the real Criterion.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId { id: name.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { id: name }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timing driver handed to the benchmark closure.
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    mean_ns: Option<f64>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly: first for the warm-up window, then for the
+    /// measurement window, recording the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let warm_up_start = Instant::now();
+        while warm_up_start.elapsed() < self.warm_up_time {
+            black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        loop {
+            black_box(routine());
+            iters += 1;
+            if start.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+        self.iters = iters;
+    }
+}
+
+/// A named collection of related benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    // Criterion's sample count has no direct analogue in this stub's
+    // fixed-time loop; it is accepted (and ignored) for source compatibility.
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for compatibility; unused).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets how long each benchmark warms up before measurement.
+    pub fn warm_up_time(&mut self, dur: Duration) -> &mut Self {
+        self.warm_up_time = dur;
+        self
+    }
+
+    /// Sets how long each benchmark is measured.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement_time = dur;
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<I, F>(&mut self, id: I, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            mean_ns: None,
+            iters: 0,
+        };
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, P, F>(&mut self, id: I, input: &P, mut f: F) -> &mut Self
+    where
+        I: Into<BenchmarkId>,
+        P: ?Sized,
+        F: FnMut(&mut Bencher, &P),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            mean_ns: None,
+            iters: 0,
+        };
+        f(&mut bencher, input);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Ends the group (prints a trailing newline like Criterion's summary).
+    pub fn finish(&mut self) {
+        println!();
+    }
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        match bencher.mean_ns {
+            Some(mean) => println!(
+                "{}/{}: {:>12.1} ns/iter ({} iterations)",
+                self.name, id, mean, bencher.iters
+            ),
+            None => println!("{}/{}: no measurement taken", self.name, id),
+        }
+    }
+}
+
+/// Top-level benchmark driver (stand-in for `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted for compatibility with generated mains; returns `self`.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            warm_up_time: Duration::from_millis(200),
+            measurement_time: Duration::from_millis(500),
+            sample_size: 100,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group(name.to_owned()).bench_function("default", f);
+        self
+    }
+}
+
+/// Declares a group function running each target against one `Criterion`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `fn main` invoking each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

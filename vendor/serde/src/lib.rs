@@ -1,0 +1,38 @@
+//! Offline stub of `serde`.
+//!
+//! The build container has no access to crates.io, so this crate provides the
+//! minimal surface the workspace uses: the [`Serialize`] and [`Deserialize`]
+//! marker traits (blanket-implemented for every type) and re-exports of the
+//! no-op derive macros from the stub `serde_derive`. Replacing this stub with
+//! the real `serde` is a one-line change in the root `Cargo.toml`'s
+//! `[workspace.dependencies]` table and requires no source edits.
+
+#![forbid(unsafe_code)]
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`; satisfied by every type.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stub of the `serde::de` module (trait names only).
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stub of the `serde::ser` module (trait names only).
+pub mod ser {
+    pub use crate::Serialize;
+}

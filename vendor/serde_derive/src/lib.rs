@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The derives are accepted and expand to nothing; the corresponding traits
+//! in the stub `serde` crate are blanket-implemented for every type, so
+//! `#[derive(Serialize, Deserialize)]` and `T: Serialize` bounds both work
+//! without pulling the real dependency into the no-network build container.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,30 @@
+//! Offline stub of `serde_json`.
+//!
+//! No workspace code serializes JSON yet; this crate exists so that the
+//! `[workspace.dependencies]` table already carries the name and future code
+//! can depend on it without touching the manifest layout. It offers a tiny
+//! debug-based `to_string` so traces can be dumped in a pinch; swap in the
+//! real `serde_json` (one line in the root `Cargo.toml`) before relying on
+//! the output format.
+
+#![forbid(unsafe_code)]
+
+use serde::Serialize;
+
+/// Error type mirroring `serde_json::Error` (the stub never fails).
+#[derive(Debug)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders a value via its `Debug` impl. Placeholder for
+/// `serde_json::to_string`; the output is *not* JSON.
+pub fn to_string<T: Serialize + std::fmt::Debug>(value: &T) -> Result<String, Error> {
+    Ok(format!("{value:?}"))
+}
