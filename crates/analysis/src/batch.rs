@@ -1,0 +1,175 @@
+//! Parallel execution of independent scenario batteries.
+//!
+//! The feasibility map runs thousands of independent [`Scenario`]s (ring
+//! sizes × placements × orientations × adversaries). A [`BatchRunner`] fans
+//! such a battery across OS threads with [`std::thread::scope`] (no external
+//! dependency) and merges the results **in input order**, so every consumer —
+//! sweeps, tables, the `feasibility_map` example — produces output
+//! bit-identical to the sequential path regardless of thread count or
+//! scheduling.
+//!
+//! The default thread count comes from the `DYNRING_THREADS` environment
+//! variable, falling back to [`std::thread::available_parallelism`]; a runner
+//! with one thread runs inline on the caller's thread (no spawn at all), which
+//! is the reference path the equivalence tests compare against.
+
+use crate::scenario::Scenario;
+use dynring_engine::sim::RunReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Fans independent work items across threads, merging results in input
+/// order.
+///
+/// ```
+/// use dynring_analysis::batch::BatchRunner;
+///
+/// let doubled = BatchRunner::new(4).run_map(&[1, 2, 3], |x| x * 2);
+/// assert_eq!(doubled, vec![2, 4, 6]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct BatchRunner {
+    threads: usize,
+}
+
+impl BatchRunner {
+    /// A runner using `threads` worker threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        BatchRunner { threads: threads.max(1) }
+    }
+
+    /// The inline sequential runner (the reference path: no thread is ever
+    /// spawned).
+    #[must_use]
+    pub fn sequential() -> Self {
+        BatchRunner::new(1)
+    }
+
+    /// The default runner: `DYNRING_THREADS` if set (a positive integer),
+    /// otherwise the machine's available parallelism.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let threads = std::env::var("DYNRING_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|t| *t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            });
+        BatchRunner::new(threads)
+    }
+
+    /// Number of worker threads this runner uses.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `work` to every input and returns the results in input order.
+    ///
+    /// With more than one thread the items are handed out through a shared
+    /// counter (work stealing — batteries mix cheap and expensive scenarios),
+    /// and each result is reassembled into its input slot afterwards, so the
+    /// output is deterministic whatever the interleaving. `work` must not
+    /// panic; a panicking worker aborts the whole batch.
+    pub fn run_map<I, T, F>(&self, inputs: &[I], work: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        F: Fn(&I) -> T + Sync,
+    {
+        let workers = self.threads.min(inputs.len());
+        if workers <= 1 {
+            return inputs.iter().map(work).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<T>> = Vec::with_capacity(inputs.len());
+        slots.resize_with(inputs.len(), || None);
+        let chunks = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut produced: Vec<(usize, T)> = Vec::new();
+                        loop {
+                            let index = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(input) = inputs.get(index) else { break };
+                            produced.push((index, work(input)));
+                        }
+                        produced
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (index, result) in chunks.into_iter().flatten() {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every input index was claimed exactly once"))
+            .collect()
+    }
+
+    /// Runs every scenario and returns the reports in input order.
+    #[must_use]
+    pub fn run_reports(&self, scenarios: &[Scenario]) -> Vec<RunReport> {
+        self.run_map(scenarios, Scenario::run)
+    }
+}
+
+impl Default for BatchRunner {
+    fn default() -> Self {
+        BatchRunner::from_env()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::AdversaryKind;
+    use dynring_core::Algorithm;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let inputs: Vec<usize> = (0..100).collect();
+        for threads in [1, 2, 7] {
+            let out = BatchRunner::new(threads).run_map(&inputs, |x| x * 3);
+            assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>(), "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_reports_match_the_sequential_reference() {
+        let scenarios: Vec<Scenario> = (0..6)
+            .map(|i| {
+                Scenario::fsync(6 + i % 3, Algorithm::KnownBound { upper_bound: 6 + i % 3 })
+                    .with_adversary(AdversaryKind::Sticky {
+                        min_hold: 1,
+                        max_hold: 6,
+                        present: 0.25,
+                        seed: i as u64,
+                    })
+            })
+            .collect();
+        let sequential = BatchRunner::sequential().run_reports(&scenarios);
+        let parallel = BatchRunner::new(4).run_reports(&scenarios);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_env_parse_is_safe() {
+        assert_eq!(BatchRunner::new(0).threads(), 1);
+        assert_eq!(BatchRunner::sequential().threads(), 1);
+        assert!(BatchRunner::from_env().threads() >= 1);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches_run_inline() {
+        let empty: Vec<usize> = Vec::new();
+        assert!(BatchRunner::new(8).run_map(&empty, |x| *x).is_empty());
+        assert_eq!(BatchRunner::new(8).run_map(&[41], |x| x + 1), vec![42]);
+    }
+}

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod figures;
 pub mod lower_bounds;
 pub mod report;
@@ -41,5 +42,6 @@ pub mod scenario;
 pub mod sweeps;
 pub mod tables;
 
+pub use batch::BatchRunner;
 pub use report::{markdown_table, RowResult};
 pub use scenario::{AdversaryKind, Scenario, SchedulerKind};

@@ -6,6 +6,7 @@
 //! these are the quantities the paper's bounds (`3N − 6`, `O(n)`,
 //! `O(n log n)`, `O(N²)`, `O(n²)`) speak about.
 
+use crate::batch::BatchRunner;
 use crate::report::SweepPoint;
 use crate::scenario::{AdversaryKind, Scenario};
 use dynring_core::fsync::LandmarkNoChirality;
@@ -95,42 +96,66 @@ pub struct SweepOutcome {
     pub all_terminated_as_promised: bool,
 }
 
-/// Sweeps a fully-synchronous algorithm over the adversary battery.
+/// Sweeps a fully-synchronous algorithm over the adversary battery, using
+/// the environment-default [`BatchRunner`].
 #[must_use]
 pub fn sweep_fsync(
     make_algorithm: impl Fn(usize) -> Algorithm,
     sizes: &[usize],
     seeds: u64,
 ) -> SweepOutcome {
-    sweep(make_algorithm, sizes, seeds, false)
+    sweep(&BatchRunner::from_env(), make_algorithm, sizes, seeds, false)
 }
 
 /// Sweeps a semi-synchronous algorithm (PT or ET) over SSYNC schedulers and
-/// the adversary battery.
+/// the adversary battery, using the environment-default [`BatchRunner`].
 #[must_use]
 pub fn sweep_ssync(
     make_algorithm: impl Fn(usize) -> Algorithm,
     sizes: &[usize],
     seeds: u64,
 ) -> SweepOutcome {
-    sweep(make_algorithm, sizes, seeds, true)
+    sweep(&BatchRunner::from_env(), make_algorithm, sizes, seeds, true)
 }
 
+/// [`sweep_fsync`] on an explicit runner (used by the equivalence tests to
+/// compare the parallel executor against the sequential reference).
+#[must_use]
+pub fn sweep_fsync_with(
+    runner: &BatchRunner,
+    make_algorithm: impl Fn(usize) -> Algorithm,
+    sizes: &[usize],
+    seeds: u64,
+) -> SweepOutcome {
+    sweep(runner, make_algorithm, sizes, seeds, false)
+}
+
+/// [`sweep_ssync`] on an explicit runner.
+#[must_use]
+pub fn sweep_ssync_with(
+    runner: &BatchRunner,
+    make_algorithm: impl Fn(usize) -> Algorithm,
+    sizes: &[usize],
+    seeds: u64,
+) -> SweepOutcome {
+    sweep(runner, make_algorithm, sizes, seeds, true)
+}
+
+/// Enumerates the whole battery up front (in the canonical deterministic
+/// order: sizes → seeds → adversaries → placements → orientations), fans the
+/// independent runs across the runner's threads, and folds the reports back
+/// in enumeration order. Because the runner merges results in input order,
+/// the outcome is bit-identical whatever the thread count.
 fn sweep(
+    runner: &BatchRunner,
     make_algorithm: impl Fn(usize) -> Algorithm,
     sizes: &[usize],
     seeds: u64,
     ssync: bool,
 ) -> SweepOutcome {
-    let mut points = Vec::with_capacity(sizes.len());
-    let mut all_explored = true;
-    let mut all_terminated = true;
-    for &n in sizes {
+    let mut scenarios: Vec<(usize, Algorithm, Scenario)> = Vec::new();
+    for (size_index, &n) in sizes.iter().enumerate() {
         let algorithm = make_algorithm(n);
-        let mut worst_rounds = 0u64;
-        let mut worst_termination = 0u64;
-        let mut worst_moves = 0u64;
-        let mut runs = 0usize;
         for seed in 0..seeds {
             for adversary in adversary_suite(n, seed * 97 + 13) {
                 for starts in start_placements(n, algorithm.required_agents()) {
@@ -154,30 +179,42 @@ fn sweep(
                             .with_adversary(adversary.clone())
                             .with_stop(stop)
                             .with_max_rounds(round_budget(&algorithm, n));
-                        let report = scenario.run();
-                        runs += 1;
-                        all_explored &= report.explored();
-                        let done = match algorithm.termination_kind() {
-                            TerminationKind::Explicit => report.all_terminated,
-                            TerminationKind::Partial => report.partially_terminated(),
-                            TerminationKind::Unconscious => report.explored(),
-                        };
-                        all_terminated &= done;
-                        worst_rounds = worst_rounds.max(report.explored_at.unwrap_or(u64::MAX));
-                        worst_termination = worst_termination
-                            .max(termination_time(&algorithm, &report).unwrap_or(u64::MAX));
-                        worst_moves = worst_moves.max(report.total_moves);
+                        scenarios.push((size_index, algorithm, scenario));
                     }
                 }
             }
         }
-        points.push(SweepPoint {
+    }
+
+    let reports = runner.run_map(&scenarios, |(_, _, scenario)| scenario.run());
+
+    let mut points: Vec<SweepPoint> = sizes
+        .iter()
+        .map(|&n| SweepPoint {
             ring_size: n,
-            worst_rounds,
-            worst_termination,
-            worst_moves,
-            runs,
-        });
+            worst_rounds: 0,
+            worst_termination: 0,
+            worst_moves: 0,
+            runs: 0,
+        })
+        .collect();
+    let mut all_explored = true;
+    let mut all_terminated = true;
+    for ((size_index, algorithm, _), report) in scenarios.iter().zip(&reports) {
+        let point = &mut points[*size_index];
+        point.runs += 1;
+        all_explored &= report.explored();
+        let done = match algorithm.termination_kind() {
+            TerminationKind::Explicit => report.all_terminated,
+            TerminationKind::Partial => report.partially_terminated(),
+            TerminationKind::Unconscious => report.explored(),
+        };
+        all_terminated &= done;
+        point.worst_rounds = point.worst_rounds.max(report.explored_at.unwrap_or(u64::MAX));
+        point.worst_termination = point
+            .worst_termination
+            .max(termination_time(algorithm, report).unwrap_or(u64::MAX));
+        point.worst_moves = point.worst_moves.max(report.total_moves);
     }
     SweepOutcome { points, all_explored, all_terminated_as_promised: all_terminated }
 }

@@ -7,6 +7,7 @@
 //!   against the protocols that solve the *stronger* setting and verify that
 //!   the guarantee indeed breaks (bounded-horizon refutation; see DESIGN.md).
 
+use crate::batch::BatchRunner;
 use crate::report::RowResult;
 use crate::scenario::{AdversaryKind, Scenario, SchedulerKind};
 use crate::sweeps::{self, within_bound};
@@ -21,21 +22,43 @@ use dynring_graph::Handedness;
 /// deceiving algorithms are configured with a smaller guessed bound).
 #[must_use]
 pub fn table1(ring_size: usize) -> Vec<RowResult> {
+    table1_with(&BatchRunner::from_env(), ring_size)
+}
+
+/// [`table1`] on an explicit [`BatchRunner`]: the witness executions are
+/// independent, so they fan across the runner's threads (results are merged
+/// in input order, so the rows are identical whatever the thread count).
+#[must_use]
+pub fn table1_with(runner: &BatchRunner, ring_size: usize) -> Vec<RowResult> {
     assert!(ring_size >= 12, "the Table 1 witnesses need a ring the deceived strategy cannot cover");
     let mut rows = Vec::new();
     // A strategy without knowledge of n has to commit to some horizon; the
     // witness uses the smallest admissible guess, which a larger ring defeats.
     let guessed = 3;
 
-    // Theorem 1: two agents, no knowledge of n, no landmark — any strategy
-    // that commits to a termination horizon (here: the paper's own Figure 1
-    // algorithm run with a guessed bound N < n) terminates without having
-    // explored once the adversary blocks one agent long enough.
-    let report = Scenario::fsync(ring_size, Algorithm::KnownBound { upper_bound: guessed })
-        .with_starts(vec![0, 1])
-        .with_adversary(AdversaryKind::BlockAgent { agent: 0 })
-        .with_stop(StopCondition::AllTerminated)
-        .run();
+    let scenarios = vec![
+        // Theorem 1: two agents, no knowledge of n, no landmark — any
+        // strategy that commits to a termination horizon (here: the paper's
+        // own Figure 1 algorithm run with a guessed bound N < n) terminates
+        // without having explored once the adversary blocks one agent long
+        // enough.
+        Scenario::fsync(ring_size, Algorithm::KnownBound { upper_bound: guessed })
+            .with_starts(vec![0, 1])
+            .with_adversary(AdversaryKind::BlockAgent { agent: 0 })
+            .with_stop(StopCondition::AllTerminated),
+        // Theorem 2 witnesses (see below).
+        Scenario::fsync(ring_size, Algorithm::KnownBound { upper_bound: guessed })
+            .with_starts(vec![0, 1, 2])
+            .with_orientations(vec![Handedness::LeftIsCcw; 3])
+            .with_adversary(AdversaryKind::BlockAgent { agent: 0 })
+            .with_stop(StopCondition::AllTerminated),
+        Scenario::fsync(ring_size, Algorithm::Unconscious)
+            .with_adversary(AdversaryKind::PreventMeeting)
+            .with_stop(StopCondition::RoundBudget)
+            .with_max_rounds(60 * ring_size as u64),
+    ];
+    let reports = runner.run_reports(&scenarios);
+    let (report, report3, unconscious) = (&reports[0], &reports[1], &reports[2]);
     let broke = report.partially_terminated() && !report.explored();
     rows.push(RowResult::new(
         "T1-R1",
@@ -55,17 +78,6 @@ pub fn table1(ring_size: usize) -> Vec<RowResult> {
     // Theorem 2: anonymous agents, any number — same witness with three
     // agents; additionally the knowledge-free Unconscious algorithm never
     // terminates (it is not required to).
-    let report3 = Scenario::fsync(ring_size, Algorithm::KnownBound { upper_bound: guessed })
-        .with_starts(vec![0, 1, 2])
-        .with_orientations(vec![Handedness::LeftIsCcw; 3])
-        .with_adversary(AdversaryKind::BlockAgent { agent: 0 })
-        .with_stop(StopCondition::AllTerminated)
-        .run();
-    let unconscious = Scenario::fsync(ring_size, Algorithm::Unconscious)
-        .with_adversary(AdversaryKind::PreventMeeting)
-        .with_stop(StopCondition::RoundBudget)
-        .with_max_rounds(60 * ring_size as u64)
-        .run();
     let broke3 = report3.partially_terminated() && !report3.explored();
     rows.push(RowResult::new(
         "T1-R2",
@@ -154,28 +166,72 @@ pub fn table2(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
 /// Table 3 — impossibility results for the SSYNC models.
 #[must_use]
 pub fn table3(ring_size: usize) -> Vec<RowResult> {
+    table3_with(&BatchRunner::from_env(), ring_size)
+}
+
+/// [`table3`] on an explicit [`BatchRunner`] (all six witness executions are
+/// independent and fan across the runner's threads).
+#[must_use]
+pub fn table3_with(runner: &BatchRunner, ring_size: usize) -> Vec<RowResult> {
     let n = ring_size;
     let mut rows = Vec::new();
     let horizon = 80 * n as u64;
 
     // Theorem 9 (NS): with the first-mover scheduler and the matching edge
     // adversary no protocol ever moves an agent.
-    let mut stuck = true;
-    let mut probes = 0usize;
-    for algorithm in [
+    let ns_algorithms = [
         Algorithm::PtBoundChirality { upper_bound: n },
         Algorithm::EtUnconscious,
         Algorithm::PtBoundNoChirality { upper_bound: n },
-    ] {
-        let mut scenario = Scenario::fsync(n, algorithm);
-        scenario.synchrony =
-            dynring_model::SynchronyModel::Ssync(dynring_model::TransportModel::NoSimultaneity);
-        let report = scenario
-            .with_scheduler(SchedulerKind::FirstMoverOnly)
-            .with_adversary(AdversaryKind::BlockFirstMover)
+    ];
+    let mut scenarios: Vec<Scenario> = ns_algorithms
+        .iter()
+        .map(|&algorithm| {
+            let mut scenario = Scenario::fsync(n, algorithm);
+            scenario.synchrony = dynring_model::SynchronyModel::Ssync(
+                dynring_model::TransportModel::NoSimultaneity,
+            );
+            scenario
+                .with_scheduler(SchedulerKind::FirstMoverOnly)
+                .with_adversary(AdversaryKind::BlockFirstMover)
+                .with_stop(StopCondition::RoundBudget)
+                .with_max_rounds(horizon)
+        })
+        .collect();
+    scenarios.push({
+        let mut scenario = Scenario::ssync(n, Algorithm::PtBoundChirality { upper_bound: n }, 5);
+        scenario.orientations = vec![Handedness::LeftIsCw, Handedness::LeftIsCcw];
+        scenario.starts = vec![1, 0];
+        scenario
+            .with_adversary(AdversaryKind::BlockForever { edge: 0 })
+            .with_scheduler(SchedulerKind::RoundRobin)
             .with_stop(StopCondition::RoundBudget)
             .with_max_rounds(horizon)
-            .run();
+    });
+    scenarios.push(
+        Scenario::ssync(n, Algorithm::PtBoundChirality { upper_bound: n }, 7)
+            .with_adversary(AdversaryKind::BlockForever { edge: n / 2 })
+            .with_scheduler(SchedulerKind::SleepBlocked { hold: 2 })
+            .with_stop(StopCondition::RoundBudget)
+            .with_max_rounds(horizon),
+    );
+    let wrong_guess = n - 2;
+    scenarios.push({
+        let mut scenario =
+            Scenario::ssync(n, Algorithm::EtBoundNoChirality { ring_size: wrong_guess }, 3);
+        scenario.starts = vec![0, 0, 0];
+        scenario
+            .with_scheduler(SchedulerKind::EtFairRoundRobin { max_lag: 1 })
+            .with_adversary(AdversaryKind::Static)
+            .with_stop(StopCondition::RoundBudget)
+            .with_max_rounds(horizon)
+    });
+
+    let reports = runner.run_reports(&scenarios);
+
+    let mut stuck = true;
+    let mut probes = 0usize;
+    for report in &reports[..ns_algorithms.len()] {
         stuck &= report.total_moves == 0 && !report.explored();
         probes += 1;
     }
@@ -194,17 +250,7 @@ pub fn table3(ring_size: usize) -> Vec<RowResult> {
     // agents face the same edge from its two endpoints and that edge is kept
     // missing forever, which is exactly the final configuration the Theorem 10
     // adversary steers any algorithm into.
-    let report = {
-        let mut scenario = Scenario::ssync(n, Algorithm::PtBoundChirality { upper_bound: n }, 5);
-        scenario.orientations = vec![Handedness::LeftIsCw, Handedness::LeftIsCcw];
-        scenario.starts = vec![1, 0];
-        scenario
-            .with_adversary(AdversaryKind::BlockForever { edge: 0 })
-            .with_scheduler(SchedulerKind::RoundRobin)
-            .with_stop(StopCondition::RoundBudget)
-            .with_max_rounds(horizon)
-            .run()
-    };
+    let report = &reports[3];
     rows.push(RowResult::new(
         "T3-R2",
         "Theorem 10",
@@ -221,12 +267,7 @@ pub fn table3(ring_size: usize) -> Vec<RowResult> {
     // Theorem 11 (PT): explicit termination of both agents is impossible;
     // the paper's own algorithm achieves exactly one terminating agent when
     // an edge stays missing forever.
-    let report = Scenario::ssync(n, Algorithm::PtBoundChirality { upper_bound: n }, 7)
-        .with_adversary(AdversaryKind::BlockForever { edge: n / 2 })
-        .with_scheduler(SchedulerKind::SleepBlocked { hold: 2 })
-        .with_stop(StopCondition::RoundBudget)
-        .with_max_rounds(horizon)
-        .run();
+    let report = &reports[4];
     let only_partial = report.partially_terminated() && !report.all_terminated;
     rows.push(RowResult::new(
         "T3-R3",
@@ -246,18 +287,7 @@ pub fn table3(ring_size: usize) -> Vec<RowResult> {
     // protocol with a guessed size smaller than the real ring makes it
     // terminate without having explored — the indistinguishability at the
     // heart of the proof.
-    let wrong_guess = n - 2;
-    let report = {
-        let mut scenario =
-            Scenario::ssync(n, Algorithm::EtBoundNoChirality { ring_size: wrong_guess }, 3);
-        scenario.starts = vec![0, 0, 0];
-        scenario
-            .with_scheduler(SchedulerKind::EtFairRoundRobin { max_lag: 1 })
-            .with_adversary(AdversaryKind::Static)
-            .with_stop(StopCondition::RoundBudget)
-            .with_max_rounds(horizon)
-            .run()
-    };
+    let report = &reports[5];
     let failed = report.partially_terminated() && !report.explored();
     rows.push(RowResult::new(
         "T3-R4",

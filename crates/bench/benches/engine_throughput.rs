@@ -1,0 +1,45 @@
+//! Raw engine throughput: rounds per second over the standard grid
+//! (FSYNC and SSYNC/PT, n ∈ {64, 256, 1024}, trace recording off/on).
+//!
+//! Unlike the table/figure benches, this target measures the simulator's
+//! inner loop itself, not the experiments built on top of it, and it writes
+//! the machine-readable baseline `BENCH_engine.json` so the engine's perf
+//! trajectory is visible PR over PR.
+//!
+//! ```bash
+//! cargo bench --bench engine_throughput            # full measurement
+//! DYNRING_BENCH_FAST=1 cargo bench --bench engine_throughput   # CI smoke
+//! ```
+
+use dynring_bench::throughput::{
+    fast_mode, measure, out_path, standard_cases, write_json, ThroughputSample,
+};
+use std::time::Duration;
+
+fn main() {
+    let fast = fast_mode();
+    let budget = if fast { Duration::from_millis(40) } else { Duration::from_millis(800) };
+    let chunk: u64 = if fast { 512 } else { 4096 };
+
+    println!(
+        "engine throughput ({} mode, {}ms window per case, {} rounds per chunk)\n",
+        if fast { "smoke" } else { "full" },
+        budget.as_millis(),
+        chunk
+    );
+    println!("{:<28} {:>14} {:>14}", "case", "rounds", "rounds/sec");
+
+    let mut samples: Vec<ThroughputSample> = Vec::new();
+    for case in standard_cases() {
+        let sample = measure(&case, budget, chunk);
+        println!(
+            "{:<28} {:>14} {:>14.0}",
+            sample.case.id, sample.rounds, sample.rounds_per_sec
+        );
+        samples.push(sample);
+    }
+
+    let path = out_path();
+    write_json(&path, &samples).expect("write BENCH_engine.json");
+    println!("\nbaseline written to {}", path.display());
+}

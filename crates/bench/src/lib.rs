@@ -10,6 +10,8 @@
 
 use dynring_analysis::report::RowResult;
 
+pub mod throughput;
+
 /// Ring sizes used by the FSYNC benchmarks.
 pub const FSYNC_SIZES: &[usize] = &[8, 16, 24];
 

@@ -32,6 +32,19 @@ pub trait EdgePolicy: Send {
     /// Selects the edge to remove, given the adversary-visible view and the
     /// set of agents that will be active this round.
     fn select(&mut self, view: &RoundView<'_>, active: &[AgentId]) -> Option<EdgeId>;
+
+    /// Whether [`select`](EdgePolicy::select) ever reads
+    /// [`AgentView::predicted`](crate::world::AgentView::predicted).
+    ///
+    /// Predicting a decision means cloning and dry-running every live
+    /// protocol each round; policies that never look at the predictions
+    /// should return `false` so the engine can skip that work (the
+    /// `predicted` field then reports `Stay` for live agents). The answer
+    /// must be constant over the policy's lifetime. Defaults to `true` (the
+    /// conservative choice for omniscient proof adversaries).
+    fn needs_predictions(&self) -> bool {
+        true
+    }
 }
 
 /// Never removes an edge (static ring).
@@ -45,6 +58,10 @@ impl EdgePolicy for NoRemoval {
 
     fn select(&mut self, _view: &RoundView<'_>, _active: &[AgentId]) -> Option<EdgeId> {
         None
+    }
+
+    fn needs_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -71,6 +88,10 @@ impl EdgePolicy for FromSchedule {
     fn select(&mut self, view: &RoundView<'_>, _active: &[AgentId]) -> Option<EdgeId> {
         self.schedule.missing_at(view.round)
     }
+
+    fn needs_predictions(&self) -> bool {
+        false
+    }
 }
 
 /// Removes the same edge in every round, forever.
@@ -94,6 +115,10 @@ impl EdgePolicy for BlockEdgeForever {
 
     fn select(&mut self, _view: &RoundView<'_>, _active: &[AgentId]) -> Option<EdgeId> {
         Some(self.edge)
+    }
+
+    fn needs_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -124,6 +149,10 @@ impl EdgePolicy for RandomEdge {
         } else {
             None
         }
+    }
+
+    fn needs_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -174,6 +203,10 @@ impl EdgePolicy for StickyRandomEdge {
         }
         self.remaining -= 1;
         self.current
+    }
+
+    fn needs_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -301,6 +334,10 @@ impl EdgePolicy for AlternatingBlock {
             Some(self.second)
         }
     }
+
+    fn needs_predictions(&self) -> bool {
+        false
+    }
 }
 
 /// Confines the agents to the arc of nodes `[lo, hi]` (walking
@@ -376,7 +413,6 @@ mod tests {
             last_active_round: 0,
             asleep_on_port: 0,
             moves: 0,
-            state_label: String::new(),
         }
     }
 
@@ -391,7 +427,6 @@ mod tests {
             last_active_round: 0,
             asleep_on_port: 0,
             moves: 0,
-            state_label: String::new(),
         }
     }
 
@@ -403,7 +438,7 @@ mod tests {
     fn no_removal_and_block_forever() {
         let ring = RingTopology::new(5).unwrap();
         let visited = vec![false; 5];
-        let view = RoundView { round: 1, ring: &ring, agents: vec![], visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: vec![].into(), visited: &visited };
         assert_eq!(NoRemoval.select(&view, &[]), None);
         assert_eq!(
             BlockEdgeForever::new(EdgeId::new(3)).select(&view, &[]),
@@ -419,7 +454,7 @@ mod tests {
         let mut policy = FromSchedule::new(schedule);
         let visited = vec![false; 5];
         for (round, expected) in [(1, Some(EdgeId::new(1))), (2, Some(EdgeId::new(1))), (3, None)] {
-            let view = RoundView { round, ring: &ring, agents: vec![], visited: &visited };
+            let view = RoundView { round, ring: &ring, agents: vec![].into(), visited: &visited };
             assert_eq!(policy.select(&view, &[]), expected);
         }
     }
@@ -429,7 +464,7 @@ mod tests {
         let ring = RingTopology::new(6).unwrap();
         let visited = vec![false; 6];
         let agents = vec![mover(0, 2, GlobalDirection::Ccw, &ring), idler(1, 4)];
-        let view = RoundView { round: 1, ring: &ring, agents, visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: agents.into(), visited: &visited };
         let active = all_ids(&view);
         assert_eq!(BlockAgent::new(AgentId::new(0)).select(&view, &active), Some(EdgeId::new(2)));
         assert_eq!(BlockAgent::new(AgentId::new(1)).select(&view, &active), None);
@@ -443,7 +478,7 @@ mod tests {
         a0.last_active_round = 9;
         let mut a1 = mover(1, 4, GlobalDirection::Cw, &ring);
         a1.last_active_round = 3;
-        let view = RoundView { round: 1, ring: &ring, agents: vec![a0, a1], visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: vec![a0, a1].into(), visited: &visited };
         let active = all_ids(&view);
         assert_eq!(BlockFirstMover.select(&view, &active), Some(EdgeId::new(3)));
     }
@@ -454,7 +489,7 @@ mod tests {
         let visited = vec![false; 6];
         // Agent 0 at node 2 moves CCW towards node 3 where agent 1 idles.
         let agents = vec![mover(0, 2, GlobalDirection::Ccw, &ring), idler(1, 3)];
-        let view = RoundView { round: 1, ring: &ring, agents, visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: agents.into(), visited: &visited };
         let active = all_ids(&view);
         assert_eq!(PreventMeeting.select(&view, &active), Some(EdgeId::new(2)));
     }
@@ -466,7 +501,7 @@ mod tests {
         // Agents at nodes 2 and 4 both move towards node 3.
         let agents =
             vec![mover(0, 2, GlobalDirection::Ccw, &ring), mover(1, 4, GlobalDirection::Cw, &ring)];
-        let view = RoundView { round: 1, ring: &ring, agents, visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: agents.into(), visited: &visited };
         let active = all_ids(&view);
         let removed = PreventMeeting.select(&view, &active);
         assert!(removed == Some(EdgeId::new(2)) || removed == Some(EdgeId::new(3)));
@@ -477,7 +512,7 @@ mod tests {
         let ring = RingTopology::new(6).unwrap();
         let visited = vec![false; 6];
         let agents = vec![mover(0, 2, GlobalDirection::Ccw, &ring), idler(1, 5)];
-        let view = RoundView { round: 1, ring: &ring, agents, visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: agents.into(), visited: &visited };
         let active = all_ids(&view);
         assert_eq!(PreventMeeting.select(&view, &active), None);
     }
@@ -488,7 +523,7 @@ mod tests {
         let visited = vec![false; 5];
         let mut policy = AlternatingBlock::new(EdgeId::new(0), EdgeId::new(2));
         for round in 1..=4 {
-            let view = RoundView { round, ring: &ring, agents: vec![], visited: &visited };
+            let view = RoundView { round, ring: &ring, agents: vec![].into(), visited: &visited };
             let expected = if round % 2 == 1 { EdgeId::new(0) } else { EdgeId::new(2) };
             assert_eq!(policy.select(&view, &[]), Some(expected));
         }
@@ -502,17 +537,17 @@ mod tests {
         let mut policy = ConfineWindow::new(NodeId::new(2), NodeId::new(5));
         // Moving within the window is allowed.
         let inside = vec![mover(0, 3, GlobalDirection::Ccw, &ring)];
-        let view = RoundView { round: 1, ring: &ring, agents: inside, visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: inside.into(), visited: &visited };
         let active = all_ids(&view);
         assert_eq!(policy.select(&view, &active), None);
         // Trying to leave over the boundary is blocked.
         let escaping = vec![mover(0, 5, GlobalDirection::Ccw, &ring)];
-        let view = RoundView { round: 1, ring: &ring, agents: escaping, visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: escaping.into(), visited: &visited };
         let active = all_ids(&view);
         assert_eq!(policy.select(&view, &active), Some(EdgeId::new(5)));
         // Leaving at the other boundary (CW from node 2) is blocked as well.
         let escaping = vec![mover(0, 2, GlobalDirection::Cw, &ring)];
-        let view = RoundView { round: 1, ring: &ring, agents: escaping, visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: escaping.into(), visited: &visited };
         let active = all_ids(&view);
         assert_eq!(policy.select(&view, &active), Some(EdgeId::new(1)));
     }
@@ -525,7 +560,7 @@ mod tests {
         let mut last = None;
         let mut switches = 0;
         for round in 1..=12 {
-            let view = RoundView { round, ring: &ring, agents: vec![], visited: &visited };
+            let view = RoundView { round, ring: &ring, agents: vec![].into(), visited: &visited };
             let choice = policy.select(&view, &[]);
             assert!(choice.is_some());
             if choice != last {
@@ -543,7 +578,7 @@ mod tests {
         let visited = vec![false; 10];
         let mut never = RandomEdge::new(0.0, 3);
         let mut always = RandomEdge::new(1.0, 3);
-        let view = RoundView { round: 1, ring: &ring, agents: vec![], visited: &visited };
+        let view = RoundView { round: 1, ring: &ring, agents: vec![].into(), visited: &visited };
         assert_eq!(never.select(&view, &[]), None);
         assert!(always.select(&view, &[]).is_some());
     }

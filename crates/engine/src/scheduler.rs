@@ -34,6 +34,17 @@ pub trait ActivationPolicy: Send {
 
     /// Selects the agents to activate, given the adversary-visible view.
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId>;
+
+    /// Whether [`select`](ActivationPolicy::select) ever reads
+    /// [`AgentView::predicted`](crate::world::AgentView::predicted).
+    ///
+    /// See [`EdgePolicy::needs_predictions`](crate::adversary::EdgePolicy::needs_predictions)
+    /// for the contract; under FSYNC the activation policy is never
+    /// consulted, so its answer only matters for SSYNC runs. Defaults to
+    /// `true`.
+    fn needs_predictions(&self) -> bool {
+        true
+    }
 }
 
 /// FSYNC: everyone is active in every round.
@@ -47,6 +58,10 @@ impl ActivationPolicy for FullActivation {
 
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
         view.alive().map(|a| a.id).collect()
+    }
+
+    fn needs_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -78,6 +93,10 @@ impl ActivationPolicy for RoundRobinSingle {
         let pick = alive[self.cursor % alive.len()];
         self.cursor = self.cursor.wrapping_add(1);
         vec![pick]
+    }
+
+    fn needs_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -117,6 +136,10 @@ impl ActivationPolicy for RandomSubset {
         }
         alive
     }
+
+    fn needs_predictions(&self) -> bool {
+        false
+    }
 }
 
 /// Keeps agents that are waiting on a port asleep for as long as `max_hold`
@@ -151,6 +174,10 @@ impl ActivationPolicy for AlternateBlocked {
             chosen = view.alive().map(|a| a.id).collect();
         }
         chosen
+    }
+
+    fn needs_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -231,6 +258,10 @@ impl ActivationPolicy for EtFairness {
         }
         chosen
     }
+
+    fn needs_predictions(&self) -> bool {
+        self.inner.needs_predictions()
+    }
 }
 
 #[cfg(test)]
@@ -254,12 +285,11 @@ mod tests {
             last_active_round: last_active,
             asleep_on_port: asleep,
             moves: 0,
-            state_label: String::new(),
         }
     }
 
     fn view<'a>(ring: &'a RingTopology, visited: &'a [bool], agents: Vec<AgentView>) -> RoundView<'a> {
-        RoundView { round: 1, ring, agents, visited }
+        RoundView { round: 1, ring, agents: agents.into(), visited }
     }
 
     #[test]

@@ -4,10 +4,11 @@ use crate::adversary::EdgePolicy;
 use crate::error::EngineError;
 use crate::scheduler::ActivationPolicy;
 use crate::trace::{AgentRoundRecord, RoundRecord, Trace};
-use crate::world::{build_snapshot, predict_action, AgentRuntime, AgentView, RoundView};
-use dynring_graph::{AgentId, EdgeId, Handedness, NodeId, RingTopology};
+use crate::world::{build_snapshot, fill_agent_views, AgentRuntime, AgentView, RoundView};
+use dynring_graph::{AgentId, EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
 use dynring_model::{Decision, PriorOutcome, Protocol, SynchronyModel, TransportModel};
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// When a run should stop (besides exhausting the round budget).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -177,53 +178,58 @@ impl SimulationBuilder {
         for agent in &runtimes {
             visited[agent.node.index()] = true;
         }
+        let unvisited = visited.iter().filter(|v| !**v).count();
+        let scratch = RoundScratch::new(runtimes.len());
         Ok(Simulation {
             ring: self.ring,
             synchrony: self.synchrony,
             agents: runtimes,
             visited,
+            unvisited,
             round: 0,
             activation,
             edges,
             trace: if self.record_trace { Some(Trace::new()) } else { None },
             explored_at: None,
+            scratch,
         })
     }
 }
 
-/// Builds the adversary-visible view of the upcoming round from the world
-/// state. A free function so that the simulation can keep its policy fields
-/// mutably borrowable while the view is alive.
-fn build_round_view<'a>(
-    ring: &'a RingTopology,
-    agents: &[AgentRuntime],
-    visited: &'a [bool],
-    round: u64,
-    fsync: bool,
-) -> RoundView<'a> {
-    let mut views = Vec::with_capacity(agents.len());
-    for (index, agent) in agents.iter().enumerate() {
-        let predicted = if agent.terminated {
-            crate::world::PredictedAction::Terminate
-        } else {
-            let snapshot = build_snapshot(ring, agents, index, round, fsync);
-            let mut probe = agent.protocol.clone_box();
-            predict_action(ring, agent, probe.decide(&snapshot))
-        };
-        views.push(AgentView {
-            id: agent.id,
-            node: agent.node,
-            held_port: agent.held_port,
-            terminated: agent.terminated,
-            handedness: agent.handedness,
-            predicted,
-            last_active_round: agent.last_active_round,
-            asleep_on_port: agent.asleep_on_port,
-            moves: agent.moves,
-            state_label: agent.protocol.state_label(),
-        });
+/// Reusable per-round working memory. All buffers are cleared and refilled
+/// every round, so after the first round [`Simulation::step`] performs no
+/// heap allocation on the FSYNC hot path (trace recording off, no policy
+/// asking for decision predictions); see [`Simulation::step`] for the one
+/// SSYNC caveat.
+#[derive(Debug, Default)]
+struct RoundScratch {
+    /// Per-agent adversary views (borrowed by the [`RoundView`]).
+    views: Vec<AgentView>,
+    /// The sanitised active set, sorted by agent id.
+    active: Vec<AgentId>,
+    /// `active_mask[i]` ⇔ agent `i` is active this round (O(1) lookup where
+    /// the resolution steps previously scanned the active list).
+    active_mask: Vec<bool>,
+    /// Per-agent decision of this round (`None` = asleep or terminated).
+    decisions: Vec<Option<Decision>>,
+    /// Node of each agent at the start of the round (trace recording only).
+    nodes_before: Vec<NodeId>,
+    /// Ports denied for the rest of the round, sorted. A handful of entries
+    /// at most (one per agent), so a sorted vec beats a `HashSet`.
+    claimed: Vec<(NodeId, GlobalDirection)>,
+}
+
+impl RoundScratch {
+    fn new(agent_count: usize) -> Self {
+        RoundScratch {
+            views: Vec::with_capacity(agent_count),
+            active: Vec::with_capacity(agent_count),
+            active_mask: vec![false; agent_count],
+            decisions: vec![None; agent_count],
+            nodes_before: Vec::with_capacity(agent_count),
+            claimed: Vec::with_capacity(agent_count),
+        }
     }
-    RoundView { round, ring, agents: views, visited }
 }
 
 /// A live simulation of agents exploring a dynamic ring.
@@ -232,11 +238,15 @@ pub struct Simulation {
     synchrony: SynchronyModel,
     agents: Vec<AgentRuntime>,
     visited: Vec<bool>,
+    /// Number of `false` entries in `visited` (kept incrementally so the
+    /// per-round exploration check is O(1) instead of an O(n) scan).
+    unvisited: usize,
     round: u64,
     activation: Box<dyn ActivationPolicy>,
     edges: Box<dyn EdgePolicy>,
     trace: Option<Trace>,
     explored_at: Option<u64>,
+    scratch: RoundScratch,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -286,7 +296,7 @@ impl Simulation {
     /// Number of distinct nodes visited by the union of the agents.
     #[must_use]
     pub fn visited_count(&self) -> usize {
-        self.visited.iter().filter(|v| **v).count()
+        self.ring.size() - self.unvisited
     }
 
     /// Whether every node has been visited.
@@ -325,13 +335,24 @@ impl Simulation {
         self.agents.iter().map(|a| a.moves).collect()
     }
 
-    fn mark_visited(visited: &mut [bool], agent: &mut AgentRuntime) {
-        visited[agent.node.index()] = true;
-        agent.visited[agent.node.index()] = true;
+    fn mark_visited(visited: &mut [bool], unvisited: &mut usize, agent: &mut AgentRuntime) {
+        let index = agent.node.index();
+        if !visited[index] {
+            visited[index] = true;
+            *unvisited -= 1;
+        }
+        agent.visited[index] = true;
     }
 
     /// Plays one round. Returns `false` if there was nothing to do (every
     /// agent has terminated).
+    ///
+    /// All per-round working memory lives in scratch buffers owned by the
+    /// simulation, so on the FSYNC hot path (trace recording off and no
+    /// policy requesting decision predictions) this performs no heap
+    /// allocation. Under SSYNC the activation policy still returns a fresh
+    /// `Vec` of chosen agents each round (that is its trait contract), so
+    /// SSYNC rounds carry one small allocation.
     pub fn step(&mut self) -> bool {
         if self.agents.iter().all(|a| a.terminated) {
             return false;
@@ -339,12 +360,26 @@ impl Simulation {
         let round = self.round + 1;
         self.round = round;
         let fsync = self.synchrony.is_fsync();
+        let record_trace = self.trace.is_some();
+        // Predictions require cloning and dry-running every live protocol, so
+        // they are only computed when a policy that will run this round
+        // declares it reads them (under FSYNC the activation policy never
+        // runs — the engine activates everyone directly).
+        let predict = self.edges.needs_predictions()
+            || (!fsync && self.activation.needs_predictions());
 
-        // 1. Activation choice. The view borrows only the ring, agents and
-        // visited fields, so the policy fields stay free for mutation.
-        let view = build_round_view(&self.ring, &self.agents, &self.visited, round, fsync);
-        let mut active: Vec<AgentId> = if fsync {
-            view.alive().map(|a| a.id).collect()
+        // 1. Activation choice. The view borrows the ring, the visited map
+        // and the scratch views, so the policy fields stay free for mutation.
+        fill_agent_views(&mut self.scratch.views, &self.ring, &self.agents, round, fsync, predict);
+        let view = RoundView {
+            round,
+            ring: &self.ring,
+            agents: Cow::Borrowed(&self.scratch.views),
+            visited: &self.visited,
+        };
+        self.scratch.active.clear();
+        if fsync {
+            self.scratch.active.extend(view.alive().map(|a| a.id));
         } else {
             let mut chosen = self.activation.select(&view);
             chosen.retain(|id| {
@@ -353,41 +388,66 @@ impl Simulation {
             chosen.sort_unstable();
             chosen.dedup();
             if chosen.is_empty() {
-                view.alive().map(|a| a.id).collect()
+                self.scratch.active.extend(view.alive().map(|a| a.id));
             } else {
-                chosen
+                self.scratch.active.extend(chosen);
             }
-        };
-        active.sort_unstable();
+        }
+        // Both branches produce a strictly increasing id sequence (FSYNC
+        // walks the agents in order; SSYNC sorts and dedups), so no re-sort
+        // is needed here.
+        debug_assert!(
+            self.scratch.active.windows(2).all(|w| w[0] < w[1]),
+            "active set must be sorted and deduplicated"
+        );
 
         // 2. Edge adversary (may inspect predicted intents and the active set).
-        let missing = self.edges.select(&view, &active).filter(|e| e.index() < self.ring.size());
+        let missing = self
+            .edges
+            .select(&view, &self.scratch.active)
+            .filter(|e| e.index() < self.ring.size());
         drop(view);
 
-        // 3. Look + Compute for active agents, in id order.
-        let mut decisions: Vec<Option<Decision>> = vec![None; self.agents.len()];
-        for id in &active {
-            let index = id.index();
-            let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
-            let decision = self.agents[index].protocol.decide(&snapshot);
-            decisions[index] = Some(decision);
+        self.scratch.active_mask.clear();
+        self.scratch.active_mask.resize(self.agents.len(), false);
+        for id in &self.scratch.active {
+            self.scratch.active_mask[id.index()] = true;
         }
 
-        // Keep the start-of-round nodes for the trace.
-        let nodes_before: Vec<NodeId> = self.agents.iter().map(|a| a.node).collect();
+        // 3. Look + Compute for active agents, in id order.
+        self.scratch.decisions.clear();
+        self.scratch.decisions.resize(self.agents.len(), None);
+        for i in 0..self.agents.len() {
+            if !self.scratch.active_mask[i] {
+                continue;
+            }
+            let snapshot = build_snapshot(&self.ring, &self.agents, i, round, fsync);
+            let decision = self.agents[i].protocol.decide(&snapshot);
+            self.scratch.decisions[i] = Some(decision);
+        }
+
+        // Keep the start-of-round nodes for the trace (trace-only work).
+        if record_trace {
+            self.scratch.nodes_before.clear();
+            self.scratch.nodes_before.extend(self.agents.iter().map(|a| a.node));
+        }
 
         // Ports denied for the whole round: every port already held at the
         // start of the round plus every port acquired during it ("access to
-        // the port continues to be denied … during this round").
-        let mut claimed: std::collections::HashSet<(NodeId, dynring_graph::GlobalDirection)> =
-            self.agents
-                .iter()
-                .filter_map(|a| a.held_port.map(|p| (a.node, p)))
-                .collect();
+        // the port continues to be denied … during this round"). At most one
+        // entry per agent, so a sorted scratch vec with binary search beats
+        // a hash set.
+        self.scratch.claimed.clear();
+        for agent in &self.agents {
+            if let Some(port) = agent.held_port {
+                self.scratch.claimed.push((agent.node, port));
+            }
+        }
+        self.scratch.claimed.sort_unstable();
 
         // 4. Resolution: port acquisition in mutual exclusion, then moves.
-        for (index, decision) in decisions.iter().enumerate() {
-            let Some(decision) = *decision else { continue };
+        for index in 0..self.agents.len() {
+            let Some(decision) = self.scratch.decisions[index] else { continue };
             match decision {
                 Decision::Terminate => {
                     let agent = &mut self.agents[index];
@@ -412,15 +472,15 @@ impl Simulation {
                         // Release any other port first, then try to acquire.
                         // The target port must not have been held or claimed
                         // by anyone else this round (mutual exclusion).
-                        let occupied = claimed.contains(&(node, gdir));
+                        let slot = self.scratch.claimed.binary_search(&(node, gdir));
                         let agent = &mut self.agents[index];
                         agent.held_port = None;
-                        if occupied {
+                        let Err(insert_at) = slot else {
                             agent.prior = PriorOutcome::PortAcquisitionFailed;
                             continue;
-                        }
+                        };
                         agent.held_port = Some(gdir);
-                        claimed.insert((node, gdir));
+                        self.scratch.claimed.insert(insert_at, (node, gdir));
                     }
                     // Attempt the traversal.
                     let edge = self.ring.edge_towards(node, gdir);
@@ -433,7 +493,7 @@ impl Simulation {
                         agent.held_port = None;
                         agent.prior = PriorOutcome::Moved;
                         agent.moves += 1;
-                        Self::mark_visited(&mut self.visited, agent);
+                        Self::mark_visited(&mut self.visited, &mut self.unvisited, agent);
                     }
                 }
             }
@@ -450,7 +510,7 @@ impl Simulation {
         // 5. Passive transport of sleeping agents (PT model only).
         if self.synchrony.transport() == Some(TransportModel::PassiveTransport) {
             for index in 0..self.agents.len() {
-                let is_active = active.contains(&AgentId::new(index));
+                let is_active = self.scratch.active_mask[index];
                 let agent = &self.agents[index];
                 if is_active || agent.terminated {
                     continue;
@@ -464,7 +524,7 @@ impl Simulation {
                         agent.held_port = None;
                         agent.prior = PriorOutcome::Transported;
                         agent.moves += 1;
-                        Self::mark_visited(&mut self.visited, agent);
+                        Self::mark_visited(&mut self.visited, &mut self.unvisited, agent);
                     }
                 }
             }
@@ -472,7 +532,7 @@ impl Simulation {
 
         // 6. Bookkeeping: activation ages, sleep counters, exploration round.
         for index in 0..self.agents.len() {
-            let is_active = active.contains(&AgentId::new(index));
+            let is_active = self.scratch.active_mask[index];
             let agent = &mut self.agents[index];
             if is_active {
                 agent.activations += 1;
@@ -484,11 +544,12 @@ impl Simulation {
                 agent.asleep_on_port = 0;
             }
         }
-        if self.explored_at.is_none() && self.visited.iter().all(|v| *v) {
+        if self.explored_at.is_none() && self.unvisited == 0 {
             self.explored_at = Some(round);
         }
 
-        // 7. Trace recording.
+        // 7. Trace recording (the only step that may allocate: the records
+        // are owned by the trace, not by the scratch).
         if self.trace.is_some() {
             let visited_count = self.visited_count();
             let records: Vec<AgentRoundRecord> = self
@@ -497,11 +558,11 @@ impl Simulation {
                 .enumerate()
                 .map(|(index, agent)| AgentRoundRecord {
                     id: agent.id,
-                    active: active.contains(&agent.id),
-                    node_before: nodes_before[index],
+                    active: self.scratch.active_mask[index],
+                    node_before: self.scratch.nodes_before[index],
                     node_after: agent.node,
                     held_port_after: agent.held_port,
-                    decision: decisions[index],
+                    decision: self.scratch.decisions[index],
                     outcome: agent.prior,
                     terminated: agent.terminated,
                     state_label: agent.protocol.state_label(),
@@ -511,7 +572,7 @@ impl Simulation {
                 trace.push(RoundRecord {
                     round,
                     missing_edge: missing,
-                    active,
+                    active: self.scratch.active.clone(),
                     agents: records,
                     visited_count,
                 });
@@ -569,16 +630,26 @@ impl Simulation {
     }
 
     /// Immutable view of the upcoming round for external inspection (used by
-    /// the renderer and by tests).
+    /// the renderer and by tests). Unlike the round loop's borrowed view,
+    /// this one owns its agent views and always includes decision
+    /// predictions.
     #[must_use]
     pub fn peek(&self) -> RoundView<'_> {
-        build_round_view(
+        let mut views = Vec::with_capacity(self.agents.len());
+        fill_agent_views(
+            &mut views,
             &self.ring,
             &self.agents,
-            &self.visited,
             self.round + 1,
             self.synchrony.is_fsync(),
-        )
+            true,
+        );
+        RoundView {
+            round: self.round + 1,
+            ring: &self.ring,
+            agents: Cow::Owned(views),
+            visited: &self.visited,
+        }
     }
 
     /// Validates the adversary's last choice against the ring (exposed for

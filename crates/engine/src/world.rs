@@ -13,6 +13,7 @@ use dynring_model::{
     Decision, LocalDirection, LocalPosition, NodeOccupancy, PriorOutcome, Protocol, Snapshot,
 };
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 
 /// Mutable per-agent runtime state owned by the simulation.
 #[derive(Debug)]
@@ -122,7 +123,7 @@ impl PredictedAction {
 }
 
 /// Adversary-visible information about one agent at the start of a round.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AgentView {
     /// The agent's simulator identifier.
     pub id: AgentId,
@@ -135,6 +136,12 @@ pub struct AgentView {
     /// The agent's private orientation.
     pub handedness: Handedness,
     /// What the agent would do if activated this round.
+    ///
+    /// Predicting a decision requires cloning and dry-running the protocol,
+    /// so the engine only computes this when one of the installed policies
+    /// declares that it reads predictions (see
+    /// [`EdgePolicy::needs_predictions`](crate::adversary::EdgePolicy::needs_predictions));
+    /// otherwise live agents report [`PredictedAction::Stay`] here.
     pub predicted: PredictedAction,
     /// The last round in which the agent was active (0 = never).
     pub last_active_round: u64,
@@ -142,12 +149,15 @@ pub struct AgentView {
     pub asleep_on_port: u64,
     /// Successful traversals so far.
     pub moves: u64,
-    /// Protocol state label (for traces and debugging adversaries).
-    pub state_label: String,
 }
 
 /// Adversary-visible information about the whole system at the start of a
 /// round.
+///
+/// Inside the round loop the agent views are borrowed from a scratch buffer
+/// owned by the simulation (no per-round allocation); stand-alone views such
+/// as [`Simulation::peek`](crate::sim::Simulation::peek) own their agents.
+/// The [`Cow`] makes both representations share one type.
 #[derive(Debug, Clone)]
 pub struct RoundView<'a> {
     /// The round about to be played (1-based).
@@ -155,7 +165,7 @@ pub struct RoundView<'a> {
     /// The static ring.
     pub ring: &'a RingTopology,
     /// One entry per agent (including terminated ones), ordered by id.
-    pub agents: Vec<AgentView>,
+    pub agents: Cow<'a, [AgentView]>,
     /// Which nodes have been visited by at least one agent so far.
     pub visited: &'a [bool],
 }
@@ -182,6 +192,44 @@ impl RoundView<'_> {
     #[must_use]
     pub fn agent(&self, id: AgentId) -> Option<&AgentView> {
         self.agents.iter().find(|a| a.id == id)
+    }
+}
+
+/// Refills `views` (a scratch buffer owned by the simulation) with the
+/// per-agent views of the upcoming round. The buffer's capacity is reused, so
+/// after the first round this performs no allocation. Decision predictions
+/// are only computed when `predict` is set, because predicting means cloning
+/// and dry-running each live protocol.
+pub(crate) fn fill_agent_views(
+    views: &mut Vec<AgentView>,
+    ring: &RingTopology,
+    agents: &[AgentRuntime],
+    round: u64,
+    fsync: bool,
+    predict: bool,
+) {
+    views.clear();
+    for (index, agent) in agents.iter().enumerate() {
+        let predicted = if agent.terminated {
+            PredictedAction::Terminate
+        } else if predict {
+            let snapshot = build_snapshot(ring, agents, index, round, fsync);
+            let mut probe = agent.protocol.clone_box();
+            predict_action(ring, agent, probe.decide(&snapshot))
+        } else {
+            PredictedAction::Stay
+        };
+        views.push(AgentView {
+            id: agent.id,
+            node: agent.node,
+            held_port: agent.held_port,
+            terminated: agent.terminated,
+            handedness: agent.handedness,
+            predicted,
+            last_active_round: agent.last_active_round,
+            asleep_on_port: agent.asleep_on_port,
+            moves: agent.moves,
+        });
     }
 }
 

@@ -16,7 +16,7 @@ use std::fmt;
 use std::ops::Not;
 
 /// Global direction of travel around the ring (simulator frame).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum GlobalDirection {
     /// Counter-clockwise: from `v_i` towards `v_{i+1}` (indices mod `n`).
     Ccw,

@@ -9,7 +9,7 @@
 //! cargo run --release --example feasibility_map
 //! ```
 
-use dynring_analysis::{figures, lower_bounds, markdown_table, tables};
+use dynring_analysis::{figures, lower_bounds, markdown_table, tables, BatchRunner};
 
 /// Ring sizes and seed counts for one regeneration of the map.
 pub struct MapConfig {
@@ -62,15 +62,22 @@ impl MapConfig {
 /// table, figure and lower-bound row and returns whether all of them are
 /// consistent with the paper.
 pub fn run(config: &MapConfig) -> bool {
+    // Every battery fans its independent runs across this runner's threads
+    // (`DYNRING_THREADS` overrides the default). Results are merged in input
+    // order, so stdout is byte-identical whatever the thread count; the
+    // runner configuration itself goes to stderr.
+    let runner = BatchRunner::from_env();
+    eprintln!("batch runner: {} thread(s); set DYNRING_THREADS to override", runner.threads());
+
     println!("# Feasibility map of Live Exploration of Dynamic Rings\n");
 
-    let t1 = tables::table1(config.impossibility_n);
+    let t1 = tables::table1_with(&runner, config.impossibility_n);
     println!("{}", markdown_table("Table 1 — FSYNC impossibility results", &t1));
 
     let t2 = tables::table2(&config.fsync_sizes, config.seeds);
     println!("{}", markdown_table("Table 2 — FSYNC possibility results", &t2));
 
-    let t3 = tables::table3(config.ssync_impossibility_n);
+    let t3 = tables::table3_with(&runner, config.ssync_impossibility_n);
     println!("{}", markdown_table("Table 3 — SSYNC impossibility results", &t3));
 
     let t4 = tables::table4(&config.ssync_sizes, config.seeds);

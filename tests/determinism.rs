@@ -1,0 +1,111 @@
+//! Golden-execution and batch-equivalence tests.
+//!
+//! The engine's round loop was refactored onto reusable scratch buffers
+//! (allocation-free hot path) and the analysis sweeps onto a parallel batch
+//! runner. Neither change may alter a single observable bit of any
+//! execution:
+//!
+//! * the golden tests pin a digest of the full `(RunReport, Trace)` of one
+//!   representative scenario per algorithm family, captured from the
+//!   pre-refactor engine — any behavioural drift in the round loop changes
+//!   the digest;
+//! * the batch-equivalence tests check that the parallel sweep executor
+//!   produces results identical to the sequential path (see
+//!   `tests/batch_equivalence.rs` for the property-based version).
+
+use dynring_analysis::scenario::{AdversaryKind, Scenario, SchedulerKind};
+use dynring_core::Algorithm;
+use dynring_engine::sim::StopCondition;
+
+/// FNV-1a over the debug rendering of the full execution record. The debug
+/// representation covers every field of every round record, so two runs
+/// digest equal iff they are observably identical.
+fn execution_digest(scenario: &Scenario) -> u64 {
+    let mut sim = scenario.build();
+    let report = sim.run(scenario.max_rounds, scenario.stop);
+    let trace = sim.trace().expect("golden scenarios record traces");
+    let rendered = format!("{report:?}|{trace:?}");
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in rendered.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// One golden scenario per algorithm family, with the digest captured from
+/// the pre-refactor engine (commit 4e7f7a2). These values must never change.
+fn golden_scenarios() -> Vec<(&'static str, Scenario, u64)> {
+    vec![
+        (
+            "fsync/known-bound/static",
+            Scenario::fsync(8, Algorithm::KnownBound { upper_bound: 8 }).with_trace(),
+            0xb810_8681_4748_0790,
+        ),
+        (
+            "fsync/known-bound/sticky",
+            Scenario::fsync(9, Algorithm::KnownBound { upper_bound: 9 })
+                .with_adversary(AdversaryKind::Sticky {
+                    min_hold: 1,
+                    max_hold: 9,
+                    present: 0.25,
+                    seed: 11,
+                })
+                .with_trace(),
+            0xe591_03e1_1672_c14c,
+        ),
+        (
+            "fsync/landmark-no-chirality/alternating",
+            Scenario::fsync(8, Algorithm::LandmarkNoChirality)
+                .with_adversary(AdversaryKind::Alternating { first: 0, second: 4 })
+                .with_trace(),
+            0x01ff_9322_8fe0_be38,
+        ),
+        (
+            "fsync/unconscious/prevent-meeting",
+            Scenario::fsync(9, Algorithm::Unconscious)
+                .with_adversary(AdversaryKind::PreventMeeting)
+                .with_stop(StopCondition::Explored)
+                .with_trace(),
+            0x9b1c_7bdf_1a2f_18db,
+        ),
+        (
+            "ssync/pt-bound-chirality/sticky",
+            Scenario::ssync(6, Algorithm::PtBoundChirality { upper_bound: 6 }, 11).with_trace(),
+            0x8f9e_3137_e44b_8c69,
+        ),
+        (
+            "ssync/pt-landmark-no-chirality/round-robin",
+            Scenario::ssync(6, Algorithm::PtLandmarkNoChirality, 3)
+                .with_scheduler(SchedulerKind::RoundRobin)
+                .with_trace(),
+            0x80d6_cbe2_ff60_d755,
+        ),
+        (
+            "ssync/et-bound/et-fair",
+            Scenario::ssync(6, Algorithm::EtBoundNoChirality { ring_size: 6 }, 7).with_trace(),
+            0xdc1b_c68d_4d7f_db97,
+        ),
+    ]
+}
+
+#[test]
+fn golden_executions_digest_to_their_pre_refactor_values() {
+    for (name, scenario, expected) in golden_scenarios() {
+        let digest = execution_digest(&scenario);
+        assert_eq!(
+            digest, expected,
+            "{name}: execution drifted from the pre-refactor engine \
+             (got {digest:#018x}, pinned {expected:#018x})"
+        );
+    }
+}
+
+#[test]
+fn golden_executions_are_deterministic_run_to_run() {
+    for (name, scenario, _) in golden_scenarios() {
+        let first = execution_digest(&scenario);
+        let second = execution_digest(&scenario);
+        assert_eq!(first, second, "{name}: two identical runs diverged");
+    }
+}
