@@ -12,6 +12,7 @@
 //! * **Figure 16** — confinement of the agents to a window when the transport
 //!   model gives the adversary full power (the NS-flavoured oscillation run).
 
+use crate::batch::BatchRunner;
 use crate::report::RowResult;
 use crate::scenario::{AdversaryKind, Scenario, SchedulerKind};
 use dynring_core::Algorithm;
@@ -88,12 +89,9 @@ pub fn figure2(ring_size: usize) -> Figure2Outcome {
     Figure2Outcome { ring_size, explored_at: report.explored_at, expected, report }
 }
 
-/// Figures 5–7: the three qualitative termination situations of
-/// `LandmarkWithChirality` — the agents catching each other around a missing
-/// edge, meeting head-on, and timing out after learning `n`.
-#[must_use]
-pub fn figures5_7(ring_size: usize) -> Vec<RowResult> {
-    let cases = [
+/// The per-case descriptions of Figures 5–7 (id, description, adversary).
+fn figures5_7_cases(ring_size: usize) -> [(&'static str, &'static str, AdversaryKind); 3] {
+    [
         (
             "F5/F6",
             "catch around a permanently missing edge",
@@ -101,30 +99,40 @@ pub fn figures5_7(ring_size: usize) -> Vec<RowResult> {
         ),
         ("F7a", "static ring: timeout after learning n", AdversaryKind::Static),
         ("F7b", "agents kept apart: timeout after learning n", AdversaryKind::PreventMeeting),
-    ];
-    cases
-        .into_iter()
-        .map(|(id, description, adversary)| {
-            let report = Scenario::fsync(ring_size, Algorithm::LandmarkChirality)
-                .with_starts(vec![1, ring_size / 2 + 1])
-                .with_adversary(adversary)
-                .with_stop(StopCondition::AllTerminated)
-                .with_max_rounds(40 * ring_size as u64)
-                .run();
-            RowResult::new(
-                id,
-                "Lemma 2 / Theorem 6",
-                format!("n = {ring_size}, landmark, chirality, {description}"),
-                "both agents terminate only after the ring is explored",
-                format!(
-                    "explored at {:?}, terminations {:?}",
-                    report.explored_at, report.termination_rounds
-                ),
-                report.explored() && report.all_terminated,
-                1,
-            )
-        })
-        .collect()
+    ]
+}
+
+/// One case of Figures 5–7 (`which` ∈ 0..3), exposed so the batched
+/// [`all_figures_with`] can fan the cases across threads.
+#[must_use]
+pub fn figure5_7_case(ring_size: usize, which: usize) -> RowResult {
+    let (id, description, adversary) = figures5_7_cases(ring_size)[which].clone();
+    let report = Scenario::fsync(ring_size, Algorithm::LandmarkChirality)
+        .with_starts(vec![1, ring_size / 2 + 1])
+        .with_adversary(adversary)
+        .with_stop(StopCondition::AllTerminated)
+        .with_max_rounds(40 * ring_size as u64)
+        .run();
+    RowResult::new(
+        id,
+        "Lemma 2 / Theorem 6",
+        format!("n = {ring_size}, landmark, chirality, {description}"),
+        "both agents terminate only after the ring is explored",
+        format!(
+            "explored at {:?}, terminations {:?}",
+            report.explored_at, report.termination_rounds
+        ),
+        report.explored() && report.all_terminated,
+        1,
+    )
+}
+
+/// Figures 5–7: the three qualitative termination situations of
+/// `LandmarkWithChirality` — the agents catching each other around a missing
+/// edge, meeting head-on, and timing out after learning `n`.
+#[must_use]
+pub fn figures5_7(ring_size: usize) -> Vec<RowResult> {
+    (0..3).map(|which| figure5_7_case(ring_size, which)).collect()
 }
 
 /// Figure 12: both agents start at the landmark without chirality, bounce off
@@ -226,16 +234,57 @@ pub fn figure16(ring_size: usize) -> RowResult {
     )
 }
 
-/// All figure experiments as report rows (Figure 2 and the qualitative runs).
+/// One independent figure experiment of [`all_figures`].
+#[derive(Debug, Clone, Copy)]
+enum FigureTask {
+    /// Figure 2 worst case.
+    Fig2(usize),
+    /// One of the Figures 5–7 cases.
+    Fig5To7(usize, usize),
+    /// Figure 12 (odd ring size).
+    Fig12(usize),
+    /// Figure 15 (PT bounce/reverse).
+    Fig15(usize),
+    /// Figure 16 (NS confinement).
+    Fig16(usize),
+}
+
+impl FigureTask {
+    fn run(&self) -> RowResult {
+        match *self {
+            FigureTask::Fig2(n) => figure2(n).row(),
+            FigureTask::Fig5To7(n, which) => figure5_7_case(n, which),
+            FigureTask::Fig12(n) => figure12(n),
+            FigureTask::Fig15(n) => figure15(n),
+            FigureTask::Fig16(n) => figure16(n),
+        }
+    }
+}
+
+/// All figure experiments as report rows (Figure 2 and the qualitative
+/// runs), using the environment-default [`BatchRunner`] (`DYNRING_THREADS`).
 #[must_use]
 pub fn all_figures(ring_size: usize) -> Vec<RowResult> {
+    all_figures_with(&BatchRunner::from_env(), ring_size)
+}
+
+/// [`all_figures`] on an explicit runner: the seven independent experiments
+/// are fanned across the runner's threads and merged in input order, so the
+/// output is byte-identical to the sequential path whatever the thread
+/// count.
+#[must_use]
+pub fn all_figures_with(runner: &BatchRunner, ring_size: usize) -> Vec<RowResult> {
     let odd = if ring_size % 2 == 1 { ring_size } else { ring_size + 1 };
-    let mut rows = vec![figure2(ring_size).row()];
-    rows.extend(figures5_7(ring_size));
-    rows.push(figure12(odd));
-    rows.push(figure15(ring_size));
-    rows.push(figure16(ring_size));
-    rows
+    let tasks = [
+        FigureTask::Fig2(ring_size),
+        FigureTask::Fig5To7(ring_size, 0),
+        FigureTask::Fig5To7(ring_size, 1),
+        FigureTask::Fig5To7(ring_size, 2),
+        FigureTask::Fig12(odd),
+        FigureTask::Fig15(ring_size),
+        FigureTask::Fig16(ring_size),
+    ];
+    runner.run_map(&tasks, FigureTask::run)
 }
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 //!   window-shifting adversary of the proofs is interactive and is
 //!   represented here by its confinement core, [`crate::figures::figure16`]).
 
+use crate::batch::BatchRunner;
 use crate::figures::figure2;
 use crate::report::{RowResult, SweepPoint};
 use crate::sweeps::{self, within_bound};
@@ -45,6 +46,15 @@ pub fn theorem4(ring_size: usize) -> RowResult {
 /// upper bound of Theorems 12 and 14.
 #[must_use]
 pub fn theorem13_15(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
+    theorem13_15_with(&BatchRunner::from_env(), sizes, seeds)
+}
+
+/// [`theorem13_15`] on an explicit [`BatchRunner`]: each sweep's battery is
+/// fanned across the runner's threads (like the tables and sweeps), merging
+/// per-run reports in enumeration order, so the rows are byte-identical to
+/// the sequential path whatever the thread count.
+#[must_use]
+pub fn theorem13_15_with(runner: &BatchRunner, sizes: &[usize], seeds: u64) -> Vec<RowResult> {
     let mut rows = Vec::new();
     type AlgorithmCtor = Box<dyn Fn(usize) -> Algorithm>;
     let configs: [(&str, &str, AlgorithmCtor); 2] = [
@@ -56,7 +66,7 @@ pub fn theorem13_15(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
         ("LB-T15", "Theorem 15 (landmark)", Box::new(|_| Algorithm::PtLandmarkChirality)),
     ];
     for (id, claim, make) in configs {
-        let outcome = sweeps::sweep_ssync(&*make, sizes, seeds);
+        let outcome = sweeps::sweep_ssync_with(runner, &*make, sizes, seeds);
         let upper_ok =
             within_bound(&outcome.points, |p| p.worst_moves, |n| 12 * (n as u64) * (n as u64) + 8 * n as u64 + 64);
         let lower_pressure = outcome.points.iter().all(|p| p.worst_moves as usize >= p.ring_size - 1);

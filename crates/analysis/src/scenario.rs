@@ -89,7 +89,7 @@ impl AdversaryKind {
                 Box::new(BlockEdgeForever::new(EdgeId::new(*edge)))
             }
             AdversaryKind::BlockAgent { agent } => Box::new(BlockAgent::new(AgentId::new(*agent))),
-            AdversaryKind::PreventMeeting => Box::new(PreventMeeting),
+            AdversaryKind::PreventMeeting => Box::new(PreventMeeting::new()),
             AdversaryKind::BlockFirstMover => Box::new(BlockFirstMover),
             AdversaryKind::Confine { lo, hi } => {
                 Box::new(ConfineWindow::new(NodeId::new(*lo), NodeId::new(*hi)))

@@ -12,13 +12,18 @@
 //! ```
 
 use dynring_bench::throughput::{
-    fast_mode, measure, out_path, standard_cases, write_json, ThroughputSample,
+    fast_mode, measure, out_path, parse_baseline, regressions, standard_cases, write_json,
+    ThroughputSample,
 };
 use std::time::Duration;
 
 fn main() {
     let fast = fast_mode();
-    let budget = if fast { Duration::from_millis(40) } else { Duration::from_millis(800) };
+    let budget_ms: u64 = std::env::var("DYNRING_BENCH_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if fast { 40 } else { 800 });
+    let budget = Duration::from_millis(budget_ms);
     let chunk: u64 = if fast { 512 } else { 4096 };
 
     println!(
@@ -29,8 +34,12 @@ fn main() {
     );
     println!("{:<28} {:>14} {:>14}", "case", "rounds", "rounds/sec");
 
+    let filter = std::env::var("DYNRING_BENCH_FILTER").unwrap_or_default();
     let mut samples: Vec<ThroughputSample> = Vec::new();
     for case in standard_cases() {
+        if !filter.is_empty() && !case.id.contains(&filter) {
+            continue;
+        }
         let sample = measure(&case, budget, chunk);
         println!(
             "{:<28} {:>14} {:>14.0}",
@@ -40,6 +49,21 @@ fn main() {
     }
 
     let path = out_path();
+    // Diff against the previous committed baseline before overwriting it.
+    let previous = std::fs::read_to_string(&path).map(|s| parse_baseline(&s)).unwrap_or_default();
     write_json(&path, &samples).expect("write BENCH_engine.json");
     println!("\nbaseline written to {}", path.display());
+
+    if previous.is_empty() {
+        println!("no previous baseline to diff against");
+    } else {
+        let drops = regressions(&samples, &previous, 0.10);
+        if drops.is_empty() {
+            println!("no regressions >= 10% against the previous baseline");
+        } else {
+            for line in &drops {
+                println!("{line}");
+            }
+        }
+    }
 }

@@ -29,11 +29,26 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(seq.direction(8), LocalDirection::Right);
 /// assert_eq!(seq.direction(10), LocalDirection::Left);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct DirectionSequence {
     id: u64,
     base: Vec<u8>,
     base_phase: u32,
+}
+
+// Manual `Clone` so that `clone_from` reuses the capacity of `base` (the
+// engine's probe pool refreshes protocol copies every round; see
+// `dynring_model::Protocol::clone_from_box`).
+impl Clone for DirectionSequence {
+    fn clone(&self) -> Self {
+        DirectionSequence { id: self.id, base: self.base.clone(), base_phase: self.base_phase }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.id = source.id;
+        self.base.clone_from(&source.base);
+        self.base_phase = source.base_phase;
+    }
 }
 
 /// Minimal binary representation of `value`.

@@ -68,13 +68,36 @@ pub fn interleave_id(k1: u64, k2: u64, k3: u64) -> (String, u64) {
 
 /// The identifier an agent computes from its blocking history
 /// (`StartFromLandmarkNoChirality`, state `Ready`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct AgentIdentifier {
     k1: u64,
     k2: u64,
     k3: u64,
     bits: String,
     value: u64,
+}
+
+// Manual `Clone` so that `clone_from` reuses the capacity of `bits` (the
+// engine's probe pool refreshes protocol copies every round; see
+// `dynring_model::Protocol::clone_from_box`).
+impl Clone for AgentIdentifier {
+    fn clone(&self) -> Self {
+        AgentIdentifier {
+            k1: self.k1,
+            k2: self.k2,
+            k3: self.k3,
+            bits: self.bits.clone(),
+            value: self.value,
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.k1 = source.k1;
+        self.k2 = source.k2;
+        self.k3 = source.k3;
+        self.bits.clone_from(&source.bits);
+        self.value = source.value;
+    }
 }
 
 impl AgentIdentifier {

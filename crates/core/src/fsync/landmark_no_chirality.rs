@@ -73,7 +73,7 @@ pub enum LnState {
 /// assert_eq!(agent.termination_kind(), TerminationKind::Explicit);
 /// assert_eq!(agent.name(), "LandmarkNoChirality");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct LandmarkNoChirality {
     state: LnState,
     /// Whether the current `Init`/`FirstBlock`/`AtLandmark` states are the
@@ -90,6 +90,43 @@ pub struct LandmarkNoChirality {
     bounce_steps: Option<u64>,
     return_steps: Option<u64>,
     counters: Counters,
+}
+
+// Manual `Clone` so that `clone_from` forwards to the capacity-reusing
+// `clone_from` of the identifier and direction sequence instead of
+// reallocating them (see `dynring_model::Protocol::clone_from_box`).
+impl Clone for LandmarkNoChirality {
+    fn clone(&self) -> Self {
+        LandmarkNoChirality {
+            state: self.state,
+            landmark_phase: self.landmark_phase,
+            dir: self.dir,
+            k1: self.k1,
+            k3: self.k3,
+            identifier: self.identifier.clone(),
+            sequence: self.sequence.clone(),
+            fwd: self.fwd,
+            bounce_steps: self.bounce_steps,
+            return_steps: self.return_steps,
+            counters: self.counters.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        self.state = source.state;
+        self.landmark_phase = source.landmark_phase;
+        self.dir = source.dir;
+        self.k1 = source.k1;
+        self.k3 = source.k3;
+        // `Option::clone_from` forwards to the inner `clone_from` when both
+        // sides are `Some`, reusing the existing heap buffers.
+        self.identifier.clone_from(&source.identifier);
+        self.sequence.clone_from(&source.sequence);
+        self.fwd = source.fwd;
+        self.bounce_steps = source.bounce_steps;
+        self.return_steps = source.return_steps;
+        self.counters = source.counters.clone();
+    }
 }
 
 impl Default for LandmarkNoChirality {
@@ -538,6 +575,14 @@ impl Protocol for LandmarkNoChirality {
 
     fn clone_box(&self) -> Box<dyn Protocol> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+        dynring_model::clone_state_from(self, src)
     }
 
     fn state_label(&self) -> String {

@@ -161,6 +161,14 @@ impl Protocol for Unconscious {
         Box::new(self.clone())
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+        dynring_model::clone_state_from(self, src)
+    }
+
     fn state_label(&self) -> String {
         format!("{:?}(G={},dir={})", self.state, self.guess, self.dir)
     }

@@ -76,6 +76,14 @@ impl Protocol for EtUnconscious {
     fn clone_box(&self) -> Box<dyn Protocol> {
         Box::new(self.clone())
     }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+        dynring_model::clone_state_from(self, src)
+    }
 }
 
 #[cfg(test)]

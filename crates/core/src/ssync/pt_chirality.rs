@@ -195,6 +195,14 @@ impl Protocol for PtBoundChirality {
         Box::new(self.clone())
     }
 
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+        dynring_model::clone_state_from(self, src)
+    }
+
     fn state_label(&self) -> String {
         self.inner.label()
     }
@@ -255,6 +263,14 @@ impl Protocol for PtLandmarkChirality {
 
     fn clone_box(&self) -> Box<dyn Protocol> {
         Box::new(self.clone())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+
+    fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+        dynring_model::clone_state_from(self, src)
     }
 
     fn state_label(&self) -> String {

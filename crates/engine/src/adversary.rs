@@ -36,13 +36,27 @@ pub trait EdgePolicy: Send {
     /// Whether [`select`](EdgePolicy::select) ever reads
     /// [`AgentView::predicted`](crate::world::AgentView::predicted).
     ///
-    /// Predicting a decision means cloning and dry-running every live
-    /// protocol each round; policies that never look at the predictions
-    /// should return `false` so the engine can skip that work (the
-    /// `predicted` field then reports `Stay` for live agents). The answer
-    /// must be constant over the policy's lifetime. Defaults to `true` (the
-    /// conservative choice for omniscient proof adversaries).
+    /// Predicting a decision means dry-running every live protocol each
+    /// round; policies that never look at the predictions should return
+    /// `false` so the engine can skip that work (the `predicted` field then
+    /// reports `Stay` for live agents). The answer must be constant over the
+    /// policy's lifetime. Defaults to `true` (the conservative choice for
+    /// omniscient proof adversaries).
     fn needs_predictions(&self) -> bool {
+        true
+    }
+
+    /// Whether [`select`](EdgePolicy::select) reads the predictions of
+    /// agents **outside the active set**. Policies that filter on the
+    /// active set before touching
+    /// [`AgentView::predicted`](crate::world::AgentView::predicted) (every
+    /// "block-the-mover" adversary of the paper) should return `false`:
+    /// under SSYNC the engine then skips the probe dry run for sleeping
+    /// agents, whose `predicted` field reports [`PredictedAction::Stay`].
+    /// Only consulted when [`needs_predictions`](EdgePolicy::needs_predictions)
+    /// is `true`; the answer must be constant over the policy's lifetime.
+    /// Defaults to `true` (sleepers are predicted too).
+    fn needs_sleeper_predictions(&self) -> bool {
         true
     }
 }
@@ -253,13 +267,30 @@ impl EdgePolicy for BlockFirstMover {
             .min_by_key(|a| (a.last_active_round, a.id))
             .and_then(|a| a.predicted.target_edge())
     }
+
+    fn needs_sleeper_predictions(&self) -> bool {
+        false
+    }
 }
 
 /// Observation 2: prevent two agents from ever meeting (or catching each
 /// other) by removing, when necessary, the edge over which a mover would
 /// reach a node occupied by the other agent.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct PreventMeeting;
+#[derive(Debug, Clone, Default)]
+pub struct PreventMeeting {
+    /// Scratch buffer of this round's movers `(id, destination, edge)`,
+    /// reused across rounds so the steady-state round loop stays
+    /// allocation-free even with this omniscient adversary installed.
+    movers: Vec<(AgentId, NodeId, EdgeId)>,
+}
+
+impl PreventMeeting {
+    /// Creates the adversary.
+    #[must_use]
+    pub fn new() -> Self {
+        PreventMeeting::default()
+    }
+}
 
 impl EdgePolicy for PreventMeeting {
     fn name(&self) -> &'static str {
@@ -268,41 +299,47 @@ impl EdgePolicy for PreventMeeting {
 
     fn select(&mut self, view: &RoundView<'_>, active: &[AgentId]) -> Option<EdgeId> {
         let ring = view.ring;
-        let movers: Vec<(&crate::world::AgentView, NodeId, EdgeId)> = view
-            .agents
-            .iter()
-            .filter(|a| !a.terminated && active.contains(&a.id))
-            .filter_map(|a| match a.predicted {
-                PredictedAction::Move { edge, direction } => {
-                    Some((a, ring.neighbor(a.node, direction), edge))
-                }
-                _ => None,
-            })
-            .collect();
+        let agents = view.agents.as_ref();
+        self.movers.clear();
+        for agent in agents {
+            if agent.terminated || !active.contains(&agent.id) {
+                continue;
+            }
+            if let PredictedAction::Move { edge, direction } = agent.predicted {
+                self.movers.push((agent.id, ring.neighbor(agent.node, direction), edge));
+            }
+        }
 
         // Case 2 of Observation 2: two movers converging on the same node
         // over different edges — removing either one suffices.
-        for (i, (_, dest_i, edge_i)) in movers.iter().enumerate() {
-            for (_, dest_j, edge_j) in movers.iter().skip(i + 1) {
+        for (i, &(_, dest_i, edge_i)) in self.movers.iter().enumerate() {
+            for &(_, dest_j, edge_j) in self.movers.iter().skip(i + 1) {
                 if dest_i == dest_j && edge_i != edge_j {
-                    return Some(*edge_i);
+                    return Some(edge_i);
                 }
             }
         }
 
         // Case 1: a mover heading into a node where another agent stays put.
-        for (mover, dest, edge) in &movers {
-            let someone_waiting = view.agents.iter().any(|other| {
-                other.id != mover.id
+        for &(mover, dest, edge) in &self.movers {
+            for other in agents {
+                if other.id != mover
                     && !other.terminated
-                    && other.node == *dest
+                    && other.node == dest
                     && (!active.contains(&other.id) || !other.predicted.is_move())
-            });
-            if someone_waiting {
-                return Some(*edge);
+                {
+                    return Some(edge);
+                }
             }
         }
         None
+    }
+
+    fn needs_sleeper_predictions(&self) -> bool {
+        // Both cases filter on the active set before reading `predicted`
+        // (the case-1 disjunction is already true for inactive agents), so
+        // a sleeper's placeholder `Stay` can never change the selection.
+        false
     }
 }
 
@@ -390,6 +427,10 @@ impl EdgePolicy for ConfineWindow {
                 _ => None,
             })
             .next()
+    }
+
+    fn needs_sleeper_predictions(&self) -> bool {
+        false
     }
 }
 
@@ -491,7 +532,7 @@ mod tests {
         let agents = vec![mover(0, 2, GlobalDirection::Ccw, &ring), idler(1, 3)];
         let view = RoundView { round: 1, ring: &ring, agents: agents.into(), visited: &visited };
         let active = all_ids(&view);
-        assert_eq!(PreventMeeting.select(&view, &active), Some(EdgeId::new(2)));
+        assert_eq!(PreventMeeting::new().select(&view, &active), Some(EdgeId::new(2)));
     }
 
     #[test]
@@ -503,7 +544,7 @@ mod tests {
             vec![mover(0, 2, GlobalDirection::Ccw, &ring), mover(1, 4, GlobalDirection::Cw, &ring)];
         let view = RoundView { round: 1, ring: &ring, agents: agents.into(), visited: &visited };
         let active = all_ids(&view);
-        let removed = PreventMeeting.select(&view, &active);
+        let removed = PreventMeeting::new().select(&view, &active);
         assert!(removed == Some(EdgeId::new(2)) || removed == Some(EdgeId::new(3)));
     }
 
@@ -514,7 +555,7 @@ mod tests {
         let agents = vec![mover(0, 2, GlobalDirection::Ccw, &ring), idler(1, 5)];
         let view = RoundView { round: 1, ring: &ring, agents: agents.into(), visited: &visited };
         let active = all_ids(&view);
-        assert_eq!(PreventMeeting.select(&view, &active), None);
+        assert_eq!(PreventMeeting::new().select(&view, &active), None);
     }
 
     #[test]

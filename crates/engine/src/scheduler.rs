@@ -35,6 +35,15 @@ pub trait ActivationPolicy: Send {
     /// Selects the agents to activate, given the adversary-visible view.
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId>;
 
+    /// Allocation-free variant of [`select`](ActivationPolicy::select):
+    /// appends the chosen agents to `out` (cleared by the engine, capacity
+    /// reused round over round). The engine always calls this method; the
+    /// default forwards to `select`, so implementing it is an optimisation,
+    /// not an obligation. Both methods must choose identically.
+    fn select_into(&mut self, view: &RoundView<'_>, out: &mut Vec<AgentId>) {
+        out.extend(self.select(view));
+    }
+
     /// Whether [`select`](ActivationPolicy::select) ever reads
     /// [`AgentView::predicted`](crate::world::AgentView::predicted).
     ///
@@ -58,6 +67,10 @@ impl ActivationPolicy for FullActivation {
 
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
         view.alive().map(|a| a.id).collect()
+    }
+
+    fn select_into(&mut self, view: &RoundView<'_>, out: &mut Vec<AgentId>) {
+        out.extend(view.alive().map(|a| a.id));
     }
 
     fn needs_predictions(&self) -> bool {
@@ -86,13 +99,19 @@ impl ActivationPolicy for RoundRobinSingle {
     }
 
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
-        let alive: Vec<AgentId> = view.alive().map(|a| a.id).collect();
-        if alive.is_empty() {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.select_into(view, &mut out);
+        out
+    }
+
+    fn select_into(&mut self, view: &RoundView<'_>, out: &mut Vec<AgentId>) {
+        let alive = view.alive().count();
+        if alive == 0 {
+            return;
         }
-        let pick = alive[self.cursor % alive.len()];
+        let pick = view.alive().nth(self.cursor % alive).expect("nth < count").id;
         self.cursor = self.cursor.wrapping_add(1);
-        vec![pick]
+        out.push(pick);
     }
 
     fn needs_predictions(&self) -> bool {
@@ -165,15 +184,20 @@ impl ActivationPolicy for AlternateBlocked {
     }
 
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
-        let mut chosen: Vec<AgentId> = view
-            .alive()
-            .filter(|a| a.held_port.is_none() || a.asleep_on_port >= self.max_hold)
-            .map(|a| a.id)
-            .collect();
-        if chosen.is_empty() {
-            chosen = view.alive().map(|a| a.id).collect();
+        let mut out = Vec::new();
+        self.select_into(view, &mut out);
+        out
+    }
+
+    fn select_into(&mut self, view: &RoundView<'_>, out: &mut Vec<AgentId>) {
+        out.extend(
+            view.alive()
+                .filter(|a| a.held_port.is_none() || a.asleep_on_port >= self.max_hold)
+                .map(|a| a.id),
+        );
+        if out.is_empty() {
+            out.extend(view.alive().map(|a| a.id));
         }
-        chosen
     }
 
     fn needs_predictions(&self) -> bool {
@@ -195,16 +219,20 @@ impl ActivationPolicy for FirstMoverOnly {
     }
 
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
-        let mut chosen: Vec<AgentId> =
-            view.alive().filter(|a| !a.predicted.is_move()).map(|a| a.id).collect();
+        let mut out = Vec::new();
+        self.select_into(view, &mut out);
+        out
+    }
+
+    fn select_into(&mut self, view: &RoundView<'_>, out: &mut Vec<AgentId>) {
+        out.extend(view.alive().filter(|a| !a.predicted.is_move()).map(|a| a.id));
         let first_mover = view
             .alive()
             .filter(|a| a.predicted.is_move())
             .min_by_key(|a| (a.last_active_round, a.id));
         if let Some(mover) = first_mover {
-            chosen.push(mover.id);
+            out.push(mover.id);
         }
-        chosen
     }
 }
 
@@ -247,16 +275,21 @@ impl ActivationPolicy for EtFairness {
     }
 
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
-        let mut chosen = self.inner.select(view);
+        let mut out = Vec::new();
+        self.select_into(view, &mut out);
+        out
+    }
+
+    fn select_into(&mut self, view: &RoundView<'_>, out: &mut Vec<AgentId>) {
+        self.inner.select_into(view, out);
         for agent in view.alive() {
             if agent.held_port.is_some()
                 && agent.asleep_on_port >= self.max_lag
-                && !chosen.contains(&agent.id)
+                && !out.contains(&agent.id)
             {
-                chosen.push(agent.id);
+                out.push(agent.id);
             }
         }
-        chosen
     }
 
     fn needs_predictions(&self) -> bool {

@@ -4,7 +4,10 @@ use crate::adversary::EdgePolicy;
 use crate::error::EngineError;
 use crate::scheduler::ActivationPolicy;
 use crate::trace::{AgentRoundRecord, RoundRecord, Trace};
-use crate::world::{build_snapshot, fill_agent_views, AgentRuntime, AgentView, RoundView};
+use crate::world::{
+    build_snapshot, fill_agent_views, fill_round_fsync, predict_action, AgentSoA, AgentView,
+    ProbePool, RoundView,
+};
 use dynring_graph::{AgentId, EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
 use dynring_model::{Decision, PriorOutcome, Protocol, SynchronyModel, TransportModel};
 use serde::{Deserialize, Serialize};
@@ -157,7 +160,7 @@ impl SimulationBuilder {
             self.activation.ok_or(EngineError::MissingPolicy { which: "activation" })?;
         let edges = self.edges.ok_or(EngineError::MissingPolicy { which: "edges" })?;
         let ring_size = self.ring.size();
-        let mut runtimes = Vec::with_capacity(self.agents.len());
+        let mut team = AgentSoA::new(ring_size);
         for (index, (start, handedness, protocol)) in self.agents.into_iter().enumerate() {
             if start.index() >= ring_size {
                 return Err(EngineError::StartOutOfRange {
@@ -166,26 +169,22 @@ impl SimulationBuilder {
                     ring_size,
                 });
             }
-            runtimes.push(AgentRuntime::new(
-                AgentId::new(index),
-                start,
-                handedness,
-                protocol,
-                ring_size,
-            ));
+            team.push(start, handedness, protocol);
         }
         let mut visited = vec![false; ring_size];
-        for agent in &runtimes {
-            visited[agent.node.index()] = true;
+        for node in &team.node {
+            visited[node.index()] = true;
         }
         let unvisited = visited.iter().filter(|v| !**v).count();
-        let scratch = RoundScratch::new(runtimes.len());
+        let scratch = RoundScratch::new(team.len());
+        let alive = team.len();
         Ok(Simulation {
             ring: self.ring,
             synchrony: self.synchrony,
-            agents: runtimes,
+            agents: team,
             visited,
             unvisited,
+            alive,
             round: 0,
             activation,
             edges,
@@ -198,20 +197,28 @@ impl SimulationBuilder {
 
 /// Reusable per-round working memory. All buffers are cleared and refilled
 /// every round, so after the first round [`Simulation::step`] performs no
-/// heap allocation on the FSYNC hot path (trace recording off, no policy
-/// asking for decision predictions); see [`Simulation::step`] for the one
-/// SSYNC caveat.
+/// heap allocation on the FSYNC hot path — with trace recording off this now
+/// holds **with or without** decision predictions, because predictions reuse
+/// the per-agent [`ProbePool`] instead of boxing protocol clones; see
+/// [`Simulation::step`] for the one SSYNC caveat.
 #[derive(Debug, Default)]
 struct RoundScratch {
     /// Per-agent adversary views (borrowed by the [`RoundView`]).
     views: Vec<AgentView>,
     /// The sanitised active set, sorted by agent id.
     active: Vec<AgentId>,
+    /// Raw activation-policy choice (SSYNC only; sanitised into `active`).
+    chosen: Vec<AgentId>,
     /// `active_mask[i]` ⇔ agent `i` is active this round (O(1) lookup where
     /// the resolution steps previously scanned the active list).
     active_mask: Vec<bool>,
     /// Per-agent decision of this round (`None` = asleep or terminated).
     decisions: Vec<Option<Decision>>,
+    /// Per-agent decision predicted by the probe dry run (prediction rounds
+    /// only; fused into [`RoundScratch::decisions`] for active agents).
+    predicted: Vec<Option<Decision>>,
+    /// Reusable per-agent protocol probes backing the predictions.
+    probes: ProbePool,
     /// Node of each agent at the start of the round (trace recording only).
     nodes_before: Vec<NodeId>,
     /// Ports denied for the rest of the round, sorted. A handful of entries
@@ -224,8 +231,11 @@ impl RoundScratch {
         RoundScratch {
             views: Vec::with_capacity(agent_count),
             active: Vec::with_capacity(agent_count),
+            chosen: Vec::with_capacity(agent_count),
             active_mask: vec![false; agent_count],
             decisions: vec![None; agent_count],
+            predicted: vec![None; agent_count],
+            probes: ProbePool::default(),
             nodes_before: Vec::with_capacity(agent_count),
             claimed: Vec::with_capacity(agent_count),
         }
@@ -236,11 +246,14 @@ impl RoundScratch {
 pub struct Simulation {
     ring: RingTopology,
     synchrony: SynchronyModel,
-    agents: Vec<AgentRuntime>,
+    agents: AgentSoA,
     visited: Vec<bool>,
     /// Number of `false` entries in `visited` (kept incrementally so the
     /// per-round exploration check is O(1) instead of an O(n) scan).
     unvisited: usize,
+    /// Number of agents that have not terminated (kept incrementally so the
+    /// per-round liveness and termination checks are O(1)).
+    alive: usize,
     round: u64,
     activation: Box<dyn ActivationPolicy>,
     edges: Box<dyn EdgePolicy>,
@@ -314,234 +327,392 @@ impl Simulation {
     /// Whether every agent has terminated.
     #[must_use]
     pub fn all_terminated(&self) -> bool {
-        self.agents.iter().all(|a| a.terminated)
+        self.agents.all_terminated()
     }
 
     /// Current node of each agent, in agent order (for tests and rendering).
     #[must_use]
     pub fn positions(&self) -> Vec<NodeId> {
-        self.agents.iter().map(|a| a.node).collect()
+        self.agents.node.clone()
     }
 
     /// Per-agent termination rounds.
     #[must_use]
     pub fn termination_rounds(&self) -> Vec<Option<u64>> {
-        self.agents.iter().map(|a| a.terminated_at).collect()
+        self.agents.terminated_at.clone()
     }
 
     /// Per-agent traversal counts.
     #[must_use]
     pub fn moves_per_agent(&self) -> Vec<u64> {
-        self.agents.iter().map(|a| a.moves).collect()
-    }
-
-    fn mark_visited(visited: &mut [bool], unvisited: &mut usize, agent: &mut AgentRuntime) {
-        let index = agent.node.index();
-        if !visited[index] {
-            visited[index] = true;
-            *unvisited -= 1;
-        }
-        agent.visited[index] = true;
+        self.agents.moves.clone()
     }
 
     /// Plays one round. Returns `false` if there was nothing to do (every
     /// agent has terminated).
     ///
     /// All per-round working memory lives in scratch buffers owned by the
-    /// simulation, so on the FSYNC hot path (trace recording off and no
-    /// policy requesting decision predictions) this performs no heap
-    /// allocation. Under SSYNC the activation policy still returns a fresh
-    /// `Vec` of chosen agents each round (that is its trait contract), so
-    /// SSYNC rounds carry one small allocation.
+    /// simulation, so on the FSYNC hot path (trace recording off) this
+    /// performs no heap allocation — including rounds with decision
+    /// predictions, which dry-run each live protocol through a reusable
+    /// probe from the engine's probe pool instead of boxing a clone. Under
+    /// SSYNC
+    /// the activation policy still returns a fresh `Vec` of chosen agents
+    /// each round (that is its trait contract), so SSYNC rounds carry one
+    /// small allocation.
     pub fn step(&mut self) -> bool {
-        if self.agents.iter().all(|a| a.terminated) {
+        if self.alive == 0 {
             return false;
         }
         let round = self.round + 1;
         self.round = round;
         let fsync = self.synchrony.is_fsync();
         let record_trace = self.trace.is_some();
-        // Predictions require cloning and dry-running every live protocol, so
-        // they are only computed when a policy that will run this round
-        // declares it reads them (under FSYNC the activation policy never
-        // runs — the engine activates everyone directly).
-        let predict = self.edges.needs_predictions()
-            || (!fsync && self.activation.needs_predictions());
+        // Predictions dry-run every live protocol, so they are only computed
+        // when a policy that will run this round declares it reads them
+        // (under FSYNC the activation policy never runs — the engine
+        // activates everyone directly). Three prediction strategies:
+        //
+        //  * FSYNC: every live agent is activated no matter what, so the dry
+        //    run *is* this round's Compute — decide on the live protocols at
+        //    fill time, no probe (`fill_agent_views_fsync_predict`);
+        //  * SSYNC, activation policy reads predictions: full probe pass
+        //    before the activation choice; actives are fused by swapping the
+        //    post-Compute probe in;
+        //  * SSYNC, only the edge policy reads predictions: defer the
+        //    predictions until after the activation choice, so actives
+        //    decide on the live protocols and only sleepers go through a
+        //    probe (the policy declared it never reads `predicted`, so the
+        //    placeholder views it selects on are equivalent).
+        let act_pred = !fsync && self.activation.needs_predictions();
+        let edges_pred = self.edges.needs_predictions();
+        let predict = edges_pred || act_pred;
 
-        // 1. Activation choice. The view borrows the ring, the visited map
-        // and the scratch views, so the policy fields stay free for mutation.
-        fill_agent_views(&mut self.scratch.views, &self.ring, &self.agents, round, fsync, predict);
-        let view = RoundView {
-            round,
-            ring: &self.ring,
-            agents: Cow::Borrowed(&self.scratch.views),
-            visited: &self.visited,
-        };
-        self.scratch.active.clear();
+        // 1. Fill + activation choice. Under FSYNC the activation policy is
+        // never consulted (everyone live is active), so the views, active
+        // set, mask and fused predictions come from one pass; under SSYNC the
+        // policy selects on a view borrowed from the scratch buffers.
         if fsync {
-            self.scratch.active.extend(view.alive().map(|a| a.id));
+            let RoundScratch { views, predicted, active, active_mask, claimed, .. } =
+                &mut self.scratch;
+            fill_round_fsync(
+                views,
+                predicted,
+                active,
+                active_mask,
+                claimed,
+                &self.ring,
+                &mut self.agents,
+                round,
+                predict,
+            );
         } else {
-            let mut chosen = self.activation.select(&view);
-            chosen.retain(|id| {
-                self.agents.get(id.index()).is_some_and(|a| !a.terminated)
-            });
-            chosen.sort_unstable();
-            chosen.dedup();
-            if chosen.is_empty() {
-                self.scratch.active.extend(view.alive().map(|a| a.id));
-            } else {
-                self.scratch.active.extend(chosen);
+            {
+                let RoundScratch { views, predicted, probes, .. } = &mut self.scratch;
+                fill_agent_views(
+                    views,
+                    predicted,
+                    probes,
+                    &self.ring,
+                    &self.agents,
+                    round,
+                    fsync,
+                    act_pred,
+                );
+            }
+            {
+                let RoundScratch { views, active, chosen, .. } = &mut self.scratch;
+                let view = RoundView {
+                    round,
+                    ring: &self.ring,
+                    agents: Cow::Borrowed(views),
+                    visited: &self.visited,
+                };
+                active.clear();
+                chosen.clear();
+                self.activation.select_into(&view, chosen);
+                chosen.retain(|id| {
+                    self.agents.terminated.get(id.index()).is_some_and(|t| !*t)
+                });
+                if chosen.len() > 1 {
+                    chosen.sort_unstable();
+                    chosen.dedup();
+                }
+                if chosen.is_empty() {
+                    active.extend(view.alive().map(|a| a.id));
+                } else {
+                    active.extend(chosen.iter().copied());
+                }
+            }
+            // The policy result was sorted and deduplicated above (the FSYNC
+            // pass walks the agents in order by construction).
+            debug_assert!(
+                self.scratch.active.windows(2).all(|w| w[0] < w[1]),
+                "active set must be sorted and deduplicated"
+            );
+
+            self.scratch.active_mask.clear();
+            self.scratch.active_mask.resize(self.agents.len(), false);
+            for id in &self.scratch.active {
+                self.scratch.active_mask[id.index()] = true;
             }
         }
-        // Both branches produce a strictly increasing id sequence (FSYNC
-        // walks the agents in order; SSYNC sorts and dedups), so no re-sort
-        // is needed here.
-        debug_assert!(
-            self.scratch.active.windows(2).all(|w| w[0] < w[1]),
-            "active set must be sorted and deduplicated"
-        );
+
+        // Deferred predictions (SSYNC with an omniscient edge policy only):
+        // the active set is known, so actives run Compute on the live
+        // protocols (prediction fusion) and only sleepers dry-run a probe.
+        // Active decisions land straight in the decision buffer — there is
+        // no separate Look + Compute pass afterwards.
+        let deferred = predict && !fsync && !act_pred;
+        if deferred {
+            // Sleepers are only dry-run when the edge policy actually reads
+            // their predictions; the paper's block-the-mover adversaries
+            // all filter on the active set first.
+            let probe_sleepers = self.edges.needs_sleeper_predictions();
+            let agent_count = self.agents.len();
+            let RoundScratch { views, probes, active_mask, decisions, .. } = &mut self.scratch;
+            let views = &mut views[..agent_count];
+            let active_mask = &active_mask[..agent_count];
+            decisions.clear();
+            decisions.resize(agent_count, None);
+            for (index, decision_slot) in decisions.iter_mut().enumerate() {
+                if self.agents.terminated[index] {
+                    continue;
+                }
+                let node = self.agents.node[index];
+                let handedness = self.agents.handedness[index];
+                let decision = if active_mask[index] {
+                    let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
+                    let decision = self.agents.protocol[index].decide(&snapshot);
+                    *decision_slot = Some(decision);
+                    decision
+                } else if probe_sleepers {
+                    let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
+                    probes.refresh(index, self.agents.protocol[index].as_ref()).decide(&snapshot)
+                } else {
+                    continue;
+                };
+                views[index].predicted = predict_action(&self.ring, node, handedness, decision);
+            }
+        }
 
         // 2. Edge adversary (may inspect predicted intents and the active set).
-        let missing = self
-            .edges
-            .select(&view, &self.scratch.active)
-            .filter(|e| e.index() < self.ring.size());
-        drop(view);
+        let missing = {
+            let view = RoundView {
+                round,
+                ring: &self.ring,
+                agents: Cow::Borrowed(&self.scratch.views),
+                visited: &self.visited,
+            };
+            self.edges
+                .select(&view, &self.scratch.active)
+                .filter(|e| e.index() < self.ring.size())
+        };
 
-        self.scratch.active_mask.clear();
-        self.scratch.active_mask.resize(self.agents.len(), false);
-        for id in &self.scratch.active {
-            self.scratch.active_mask[id.index()] = true;
-        }
-
-        // 3. Look + Compute for active agents, in id order.
-        self.scratch.decisions.clear();
-        self.scratch.decisions.resize(self.agents.len(), None);
-        for i in 0..self.agents.len() {
-            if !self.scratch.active_mask[i] {
-                continue;
+        // 3. Look + Compute for active agents, in id order. On prediction
+        // rounds this is *fused* with the prediction pass: the probe was
+        // state-copied from the live protocol and dry-run on the identical
+        // Look snapshot, so (protocols being deterministic) its decision is
+        // this round's decision and its state the post-Compute state — the
+        // probe is swapped in instead of running Look + Compute a second
+        // time.
+        if fsync && predict {
+            // The one-pass FSYNC fill already ran Compute on every live
+            // agent and recorded the decisions; terminated agents hold
+            // `None` there exactly as the resolution phase expects, so the
+            // prediction buffer simply *becomes* the decision buffer.
+            std::mem::swap(&mut self.scratch.decisions, &mut self.scratch.predicted);
+        } else if deferred {
+            // The deferred pass above filled the decision buffer in place.
+        } else {
+            self.scratch.decisions.clear();
+            self.scratch.decisions.resize(self.agents.len(), None);
+            for index in 0..self.agents.len() {
+                if !self.scratch.active_mask[index] {
+                    continue;
+                }
+                let decision = if predict {
+                    // Only the predicting-scheduler tier reaches this branch
+                    // (the FSYNC and deferred tiers were handled above), so
+                    // the probe holds the post-Compute state: swap it in.
+                    debug_assert!(act_pred);
+                    let decision = self.scratch.predicted[index]
+                        .expect("every live agent carries a prediction on prediction rounds");
+                    self.scratch.probes.swap(index, &mut self.agents.protocol[index]);
+                    decision
+                } else {
+                    let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
+                    self.agents.protocol[index].decide(&snapshot)
+                };
+                self.scratch.decisions[index] = Some(decision);
             }
-            let snapshot = build_snapshot(&self.ring, &self.agents, i, round, fsync);
-            let decision = self.agents[i].protocol.decide(&snapshot);
-            self.scratch.decisions[i] = Some(decision);
         }
 
         // Keep the start-of-round nodes for the trace (trace-only work).
         if record_trace {
             self.scratch.nodes_before.clear();
-            self.scratch.nodes_before.extend(self.agents.iter().map(|a| a.node));
+            self.scratch.nodes_before.extend_from_slice(&self.agents.node);
         }
 
         // Ports denied for the whole round: every port already held at the
         // start of the round plus every port acquired during it ("access to
         // the port continues to be denied … during this round"). At most one
-        // entry per agent, so a sorted scratch vec with binary search beats
-        // a hash set.
-        self.scratch.claimed.clear();
-        for agent in &self.agents {
-            if let Some(port) = agent.held_port {
-                self.scratch.claimed.push((agent.node, port));
+        // entry per agent, so an unsorted scratch vec with a linear
+        // membership scan beats both a hash set and a sorted vec. (FSYNC
+        // rounds collected the held ports during the one-pass fill; held
+        // ports only change during resolution, so the fill-time snapshot is
+        // identical.)
+        if !fsync {
+            self.scratch.claimed.clear();
+            for (node, port) in self.agents.node.iter().zip(&self.agents.held_port) {
+                if let Some(port) = port {
+                    self.scratch.claimed.push((*node, *port));
+                }
             }
         }
-        self.scratch.claimed.sort_unstable();
 
         // 4. Resolution: port acquisition in mutual exclusion, then moves.
-        for index in 0..self.agents.len() {
-            let Some(decision) = self.scratch.decisions[index] else { continue };
-            match decision {
-                Decision::Terminate => {
-                    let agent = &mut self.agents[index];
-                    agent.terminated = true;
-                    agent.terminated_at = Some(round);
-                    agent.held_port = None;
-                    agent.prior = PriorOutcome::Idle;
+        //
+        // The per-agent state is accessed through slices hoisted once per
+        // round: the parallel vectors are re-sliced to the common length so
+        // the indexing below is bounds-check-free, and the virtual protocol
+        // calls cannot force reloads of the (noalias) slice pointers.
+        {
+            let agent_count = self.agents.len();
+            let agents = &mut self.agents;
+            let node = &mut agents.node[..agent_count];
+            let held_port = &mut agents.held_port[..agent_count];
+            let terminated = &mut agents.terminated[..agent_count];
+            let handedness = &agents.handedness[..agent_count];
+            let prior = &mut agents.prior[..agent_count];
+            let protocol = &mut agents.protocol[..agent_count];
+            let moves = &mut agents.moves[..agent_count];
+            let terminated_at = &mut agents.terminated_at[..agent_count];
+            let agent_visited = agents.visited.as_mut_slice();
+            let ring_size = agents.ring_size;
+            let node_population = agents.node_population.as_mut_slice();
+            let crowded_nodes = &mut agents.crowded_nodes;
+            let decisions = &self.scratch.decisions[..agent_count];
+            let global_visited = self.visited.as_mut_slice();
+            let unvisited = &mut self.unvisited;
+            let alive = &mut self.alive;
+            let poll_termination = &agents.poll_termination[..agent_count];
+            let activations = &mut agents.activations[..agent_count];
+            let last_active_round = &mut agents.last_active_round[..agent_count];
+            let asleep_on_port = &mut agents.asleep_on_port[..agent_count];
+            let mut mark_visited = |index: usize, node_index: usize| {
+                if !global_visited[node_index] {
+                    global_visited[node_index] = true;
+                    *unvisited -= 1;
                 }
-                Decision::Stay => {
-                    self.agents[index].prior = PriorOutcome::Idle;
+                agent_visited[index * ring_size + node_index] = true;
+            };
+            for index in 0..agent_count {
+                let Some(decision) = decisions[index] else { continue };
+                // Under FSYNC every decider was active, so the per-agent
+                // bookkeeping (step 6) folds into this pass; terminated
+                // agents were never activated and their sleep counters are
+                // already zero.
+                if fsync {
+                    activations[index] += 1;
+                    last_active_round[index] = round;
+                    asleep_on_port[index] = 0;
                 }
-                Decision::Retreat => {
-                    let agent = &mut self.agents[index];
-                    agent.held_port = None;
-                    agent.prior = PriorOutcome::Idle;
-                }
-                Decision::Move(ldir) => {
-                    let gdir = self.agents[index].to_global(ldir);
-                    let node = self.agents[index].node;
-                    let already_held = self.agents[index].held_port == Some(gdir);
-                    if !already_held {
-                        // Release any other port first, then try to acquire.
-                        // The target port must not have been held or claimed
-                        // by anyone else this round (mutual exclusion).
-                        let slot = self.scratch.claimed.binary_search(&(node, gdir));
-                        let agent = &mut self.agents[index];
-                        agent.held_port = None;
-                        let Err(insert_at) = slot else {
-                            agent.prior = PriorOutcome::PortAcquisitionFailed;
-                            continue;
-                        };
-                        agent.held_port = Some(gdir);
-                        self.scratch.claimed.insert(insert_at, (node, gdir));
+                match decision {
+                    Decision::Terminate => {
+                        *alive -= 1;
+                        terminated[index] = true;
+                        terminated_at[index] = Some(round);
+                        held_port[index] = None;
+                        prior[index] = PriorOutcome::Idle;
                     }
-                    // Attempt the traversal.
-                    let edge = self.ring.edge_towards(node, gdir);
-                    if missing == Some(edge) {
-                        self.agents[index].prior = PriorOutcome::BlockedOnPort;
+                    Decision::Stay => {
+                        prior[index] = PriorOutcome::Idle;
+                    }
+                    Decision::Retreat => {
+                        held_port[index] = None;
+                        prior[index] = PriorOutcome::Idle;
+                    }
+                    Decision::Move(ldir) => {
+                        let gdir = crate::world::to_global(handedness[index], ldir);
+                        let at = node[index];
+                        let already_held = held_port[index] == Some(gdir);
+                        if !already_held {
+                            // Release any other port first, then try to
+                            // acquire. The target port must not have been
+                            // held or claimed by anyone else this round
+                            // (mutual exclusion).
+                            held_port[index] = None;
+                            if self.scratch.claimed.contains(&(at, gdir)) {
+                                prior[index] = PriorOutcome::PortAcquisitionFailed;
+                                continue;
+                            }
+                            held_port[index] = Some(gdir);
+                            self.scratch.claimed.push((at, gdir));
+                        }
+                        // Attempt the traversal.
+                        let edge = self.ring.edge_towards(at, gdir);
+                        if missing == Some(edge) {
+                            prior[index] = PriorOutcome::BlockedOnPort;
+                        } else {
+                            let destination = self.ring.neighbor(at, gdir);
+                            node[index] = destination;
+                            held_port[index] = None;
+                            prior[index] = PriorOutcome::Moved;
+                            moves[index] += 1;
+                            AgentSoA::relocate(node_population, crowded_nodes, at, destination);
+                            mark_visited(index, destination.index());
+                        }
+                    }
+                }
+                // A protocol may flag termination without returning
+                // `Terminate` (defensive; none of the paper's algorithms do).
+                if poll_termination[index] && protocol[index].has_terminated() && !terminated[index] {
+                    *alive -= 1;
+                    terminated[index] = true;
+                    terminated_at[index] = Some(round);
+                    held_port[index] = None;
+                }
+            }
+
+            // 5. Passive transport of sleeping agents (PT model only).
+            if self.synchrony.transport() == Some(TransportModel::PassiveTransport) {
+                let active_mask = &self.scratch.active_mask[..agent_count];
+                for index in 0..agent_count {
+                    if active_mask[index] || terminated[index] {
+                        continue;
+                    }
+                    if let Some(gdir) = held_port[index] {
+                        let at = node[index];
+                        let edge = self.ring.edge_towards(at, gdir);
+                        if missing != Some(edge) {
+                            let destination = self.ring.neighbor(at, gdir);
+                            node[index] = destination;
+                            held_port[index] = None;
+                            prior[index] = PriorOutcome::Transported;
+                            moves[index] += 1;
+                            AgentSoA::relocate(node_population, crowded_nodes, at, destination);
+                            mark_visited(index, destination.index());
+                        }
+                    }
+                }
+            }
+
+            // 6. Bookkeeping: activation ages, sleep counters (FSYNC rounds
+            // folded this into the resolution pass above).
+            if !fsync {
+                let active_mask = &self.scratch.active_mask[..agent_count];
+                for index in 0..agent_count {
+                    if active_mask[index] {
+                        activations[index] += 1;
+                        last_active_round[index] = round;
+                        asleep_on_port[index] = 0;
+                    } else if held_port[index].is_some() {
+                        asleep_on_port[index] += 1;
                     } else {
-                        let destination = self.ring.neighbor(node, gdir);
-                        let agent = &mut self.agents[index];
-                        agent.node = destination;
-                        agent.held_port = None;
-                        agent.prior = PriorOutcome::Moved;
-                        agent.moves += 1;
-                        Self::mark_visited(&mut self.visited, &mut self.unvisited, agent);
+                        asleep_on_port[index] = 0;
                     }
                 }
-            }
-            // A protocol may flag termination without returning `Terminate`
-            // (defensive; none of the paper's algorithms do).
-            if self.agents[index].protocol.has_terminated() && !self.agents[index].terminated {
-                let agent = &mut self.agents[index];
-                agent.terminated = true;
-                agent.terminated_at = Some(round);
-                agent.held_port = None;
-            }
-        }
-
-        // 5. Passive transport of sleeping agents (PT model only).
-        if self.synchrony.transport() == Some(TransportModel::PassiveTransport) {
-            for index in 0..self.agents.len() {
-                let is_active = self.scratch.active_mask[index];
-                let agent = &self.agents[index];
-                if is_active || agent.terminated {
-                    continue;
-                }
-                if let Some(gdir) = agent.held_port {
-                    let edge = self.ring.edge_towards(agent.node, gdir);
-                    if missing != Some(edge) {
-                        let destination = self.ring.neighbor(agent.node, gdir);
-                        let agent = &mut self.agents[index];
-                        agent.node = destination;
-                        agent.held_port = None;
-                        agent.prior = PriorOutcome::Transported;
-                        agent.moves += 1;
-                        Self::mark_visited(&mut self.visited, &mut self.unvisited, agent);
-                    }
-                }
-            }
-        }
-
-        // 6. Bookkeeping: activation ages, sleep counters, exploration round.
-        for index in 0..self.agents.len() {
-            let is_active = self.scratch.active_mask[index];
-            let agent = &mut self.agents[index];
-            if is_active {
-                agent.activations += 1;
-                agent.last_active_round = round;
-                agent.asleep_on_port = 0;
-            } else if agent.held_port.is_some() {
-                agent.asleep_on_port += 1;
-            } else {
-                agent.asleep_on_port = 0;
             }
         }
         if self.explored_at.is_none() && self.unvisited == 0 {
@@ -552,20 +723,17 @@ impl Simulation {
         // are owned by the trace, not by the scratch).
         if self.trace.is_some() {
             let visited_count = self.visited_count();
-            let records: Vec<AgentRoundRecord> = self
-                .agents
-                .iter()
-                .enumerate()
-                .map(|(index, agent)| AgentRoundRecord {
-                    id: agent.id,
+            let records: Vec<AgentRoundRecord> = (0..self.agents.len())
+                .map(|index| AgentRoundRecord {
+                    id: self.agents.id(index),
                     active: self.scratch.active_mask[index],
                     node_before: self.scratch.nodes_before[index],
-                    node_after: agent.node,
-                    held_port_after: agent.held_port,
+                    node_after: self.agents.node[index],
+                    held_port_after: self.agents.held_port[index],
                     decision: self.scratch.decisions[index],
-                    outcome: agent.prior,
-                    terminated: agent.terminated,
-                    state_label: agent.protocol.state_label(),
+                    outcome: self.agents.prior[index],
+                    terminated: self.agents.terminated[index],
+                    state_label: self.agents.protocol[index].state_label(),
                 })
                 .collect();
             if let Some(trace) = self.trace.as_mut() {
@@ -585,6 +753,17 @@ impl Simulation {
     /// simulated, and summarises the execution.
     pub fn run(&mut self, max_rounds: u64, stop: StopCondition) -> RunReport {
         let mut reason = StopReason::BudgetExhausted;
+        if stop == StopCondition::RoundBudget {
+            // The budget-only loop (throughput measurement) skips the
+            // per-round stop-condition dispatch.
+            for _ in 0..max_rounds {
+                if !self.step() {
+                    reason = StopReason::Deadlocked;
+                    break;
+                }
+            }
+            return self.report(reason);
+        }
         for _ in 0..max_rounds {
             if self.stop_condition_met(stop) {
                 reason = StopReason::ConditionMet;
@@ -605,9 +784,9 @@ impl Simulation {
         match stop {
             StopCondition::Explored => self.explored(),
             StopCondition::ExploredAndPartialTermination => {
-                self.explored() && self.agents.iter().any(|a| a.terminated)
+                self.explored() && self.alive < self.agents.len()
             }
-            StopCondition::AllTerminated => self.all_terminated(),
+            StopCondition::AllTerminated => self.alive == 0,
             StopCondition::RoundBudget => false,
         }
     }
@@ -623,8 +802,10 @@ impl Simulation {
             termination_rounds: self.termination_rounds(),
             all_terminated: self.all_terminated(),
             moves_per_agent: self.moves_per_agent(),
-            visited_per_agent: self.agents.iter().map(AgentRuntime::visited_count).collect(),
-            total_moves: self.agents.iter().map(|a| a.moves).sum(),
+            visited_per_agent: (0..self.agents.len())
+                .map(|index| self.agents.visited_count(index))
+                .collect(),
+            total_moves: self.agents.moves.iter().sum(),
             stop_reason,
         }
     }
@@ -636,8 +817,12 @@ impl Simulation {
     #[must_use]
     pub fn peek(&self) -> RoundView<'_> {
         let mut views = Vec::with_capacity(self.agents.len());
+        let mut predicted = Vec::new();
+        let mut probes = ProbePool::default();
         fill_agent_views(
             &mut views,
+            &mut predicted,
+            &mut probes,
             &self.ring,
             &self.agents,
             self.round + 1,
@@ -763,7 +948,7 @@ mod tests {
             n,
             &[0, 4],
             vec![Box::new(Unconscious::new()), Box::new(Unconscious::new())],
-            Box::new(PreventMeeting),
+            Box::new(PreventMeeting::new()),
         );
         let report = sim.run(40 * n as u64, StopCondition::Explored);
         assert!(report.explored(), "Theorem 5: exploration completes in O(n) rounds");

@@ -7,82 +7,212 @@
 //! protocols are deterministic, so an omniscient adversary could compute the
 //! same prediction by simulation, exactly as the adversaries in the paper's
 //! impossibility proofs do.
+//!
+//! Agent state is laid out as a **struct of arrays** (`AgentSoA`): the
+//! fields read by the per-round hot loops — the Look snapshot's occupancy
+//! pass and the scheduler's activation scans — are dense parallel vectors
+//! indexed by agent, while cold state (the boxed protocol, per-agent visit
+//! maps, statistics) lives in separate arrays the hot passes never touch.
+//! Decision predictions reuse per-agent probe instances from a private probe
+//! pool (an in-place [`Protocol::clone_from_box`] state copy per round)
+//! instead of boxing a fresh clone, so the omniscient-adversary path is
+//! allocation-free in the steady state too.
 
 use dynring_graph::{AgentId, EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
 use dynring_model::{
     Decision, LocalDirection, LocalPosition, NodeOccupancy, PriorOutcome, Protocol, Snapshot,
+    TerminationKind,
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
 
-/// Mutable per-agent runtime state owned by the simulation.
-#[derive(Debug)]
-pub(crate) struct AgentRuntime {
-    pub id: AgentId,
-    pub node: NodeId,
-    /// The port (by global direction) the agent is currently holding, if any.
-    pub held_port: Option<GlobalDirection>,
-    pub handedness: Handedness,
-    pub protocol: Box<dyn Protocol>,
-    pub prior: PriorOutcome,
-    pub terminated: bool,
-    pub moves: u64,
-    pub activations: u64,
-    pub last_active_round: u64,
-    /// Consecutive rounds spent asleep while holding a port (for ET fairness
-    /// accounting).
-    pub asleep_on_port: u64,
-    pub visited: Vec<bool>,
-    pub terminated_at: Option<u64>,
+/// Converts a local direction into the global frame of an agent with the
+/// given orientation.
+pub(crate) fn to_global(handedness: Handedness, dir: LocalDirection) -> GlobalDirection {
+    match dir {
+        LocalDirection::Left => handedness.local_left(),
+        LocalDirection::Right => handedness.local_right(),
+    }
 }
 
-impl AgentRuntime {
-    pub(crate) fn new(
-        id: AgentId,
+/// Converts a global direction into the local frame of an agent with the
+/// given orientation.
+pub(crate) fn to_local(handedness: Handedness, dir: GlobalDirection) -> LocalDirection {
+    if dir == handedness.local_left() {
+        LocalDirection::Left
+    } else {
+        LocalDirection::Right
+    }
+}
+
+/// Mutable per-agent runtime state owned by the simulation, in
+/// struct-of-arrays layout. All vectors are parallel and indexed by agent
+/// (agents are stored in id order, so the index *is* the [`AgentId`]).
+#[derive(Debug, Default)]
+pub(crate) struct AgentSoA {
+    /// Hot: the node each agent currently occupies.
+    pub node: Vec<NodeId>,
+    /// Hot: the port (by global direction) each agent holds, if any.
+    pub held_port: Vec<Option<GlobalDirection>>,
+    /// Hot: whether each agent has terminated.
+    pub terminated: Vec<bool>,
+    /// Hot: each agent's private orientation.
+    pub handedness: Vec<Handedness>,
+    /// Hot: the outcome each agent will be shown at its next Look.
+    pub prior: Vec<PriorOutcome>,
+    /// Cold: the protocol instance (Compute state machine) of each agent.
+    pub protocol: Vec<Box<dyn Protocol>>,
+    /// Cold: successful traversals per agent.
+    pub moves: Vec<u64>,
+    /// Cold: activations per agent.
+    pub activations: Vec<u64>,
+    /// Cold: the last round each agent was active (0 = never).
+    pub last_active_round: Vec<u64>,
+    /// Cold: consecutive rounds spent asleep while holding a port (ET
+    /// fairness accounting).
+    pub asleep_on_port: Vec<u64>,
+    /// Cold: per-agent termination rounds.
+    pub terminated_at: Vec<Option<u64>>,
+    /// Cold: whether the engine must poll `Protocol::has_terminated` after
+    /// each decision. Protocols declaring [`TerminationKind::Unconscious`]
+    /// promise they never enter a terminal state, so the per-round virtual
+    /// call is skipped for them.
+    pub poll_termination: Vec<bool>,
+    /// Cold: per-agent visit maps, flattened row-major
+    /// (`agent * ring_size + node`).
+    pub visited: Vec<bool>,
+    /// Ring size (row stride of `visited`).
+    pub ring_size: usize,
+    /// Number of agents standing on each node (index = node id), maintained
+    /// incrementally on every move/transport.
+    pub node_population: Vec<u32>,
+    /// Number of nodes holding two or more agents. While this is zero the
+    /// Look occupancy of every agent is trivially empty, so
+    /// [`build_snapshot`] skips its scan over the team entirely — the common
+    /// case under a meeting-preventing adversary, and the difference between
+    /// O(k) and O(k²) Look work per round for large teams.
+    pub crowded_nodes: usize,
+}
+
+impl AgentSoA {
+    /// An empty team on a ring of the given size.
+    pub(crate) fn new(ring_size: usize) -> Self {
+        AgentSoA {
+            ring_size,
+            node_population: vec![0; ring_size],
+            ..AgentSoA::default()
+        }
+    }
+
+    /// Appends an agent; its start node is marked visited in its private map.
+    pub(crate) fn push(
+        &mut self,
         node: NodeId,
         handedness: Handedness,
         protocol: Box<dyn Protocol>,
-        ring_size: usize,
-    ) -> Self {
-        let mut visited = vec![false; ring_size];
-        visited[node.index()] = true;
-        AgentRuntime {
-            id,
-            node,
-            held_port: None,
-            handedness,
-            protocol,
-            prior: PriorOutcome::Idle,
-            terminated: false,
-            moves: 0,
-            activations: 0,
-            last_active_round: 0,
-            asleep_on_port: 0,
-            visited,
-            terminated_at: None,
+    ) {
+        self.node.push(node);
+        self.held_port.push(None);
+        self.terminated.push(false);
+        self.handedness.push(handedness);
+        self.prior.push(PriorOutcome::Idle);
+        self.poll_termination
+            .push(protocol.termination_kind() != TerminationKind::Unconscious);
+        self.protocol.push(protocol);
+        self.moves.push(0);
+        self.activations.push(0);
+        self.last_active_round.push(0);
+        self.asleep_on_port.push(0);
+        self.terminated_at.push(None);
+        let start = self.visited.len();
+        self.visited.resize(start + self.ring_size, false);
+        self.visited[start + node.index()] = true;
+        self.node_population[node.index()] += 1;
+        if self.node_population[node.index()] == 2 {
+            self.crowded_nodes += 1;
         }
     }
 
-    /// Converts a local direction of this agent into the global frame.
-    pub(crate) fn to_global(&self, dir: LocalDirection) -> GlobalDirection {
-        match dir {
-            LocalDirection::Left => self.handedness.local_left(),
-            LocalDirection::Right => self.handedness.local_right(),
+    /// Records that an agent left `from` for `to`, keeping the population
+    /// index and the crowded-node counter in sync.
+    #[inline]
+    pub(crate) fn relocate(
+        node_population: &mut [u32],
+        crowded_nodes: &mut usize,
+        from: NodeId,
+        to: NodeId,
+    ) {
+        node_population[from.index()] -= 1;
+        if node_population[from.index()] == 1 {
+            *crowded_nodes -= 1;
+        }
+        node_population[to.index()] += 1;
+        if node_population[to.index()] == 2 {
+            *crowded_nodes += 1;
         }
     }
 
-    /// Converts a global direction into this agent's local frame.
-    pub(crate) fn to_local(&self, dir: GlobalDirection) -> LocalDirection {
-        if dir == self.handedness.local_left() {
-            LocalDirection::Left
-        } else {
-            LocalDirection::Right
-        }
+    /// Number of agents.
+    pub(crate) fn len(&self) -> usize {
+        self.node.len()
     }
 
-    /// The number of distinct nodes this agent has visited.
-    pub(crate) fn visited_count(&self) -> usize {
-        self.visited.iter().filter(|v| **v).count()
+    /// The simulator identifier of agent `index`.
+    pub(crate) fn id(&self, index: usize) -> AgentId {
+        debug_assert!(index < self.len());
+        AgentId::new(index)
+    }
+
+    /// The number of distinct nodes agent `index` has visited.
+    pub(crate) fn visited_count(&self, index: usize) -> usize {
+        let row = &self.visited[index * self.ring_size..(index + 1) * self.ring_size];
+        row.iter().filter(|v| **v).count()
+    }
+
+    /// Whether every agent has terminated (a straight pass over one dense
+    /// bool slice).
+    pub(crate) fn all_terminated(&self) -> bool {
+        self.terminated.iter().all(|t| *t)
+    }
+}
+
+/// A pool of reusable protocol *probe* instances, one slot per agent.
+///
+/// Predicting an agent's decision requires dry-running its (deterministic)
+/// protocol on the upcoming Look snapshot without touching the live instance.
+/// Instead of boxing a fresh [`Protocol::clone_box`] per agent per round, the
+/// pool refreshes a persistent probe through the in-place
+/// [`Protocol::clone_from_box`] state copy; only the first round per agent
+/// (or a protocol that does not support in-place copies) allocates.
+#[derive(Debug, Default)]
+pub(crate) struct ProbePool {
+    slots: Vec<Option<Box<dyn Protocol>>>,
+}
+
+impl ProbePool {
+    /// Returns the probe for agent `index`, its state refreshed from `src`.
+    pub(crate) fn refresh(&mut self, index: usize, src: &dyn Protocol) -> &mut Box<dyn Protocol> {
+        if self.slots.len() <= index {
+            self.slots.resize_with(index + 1, || None);
+        }
+        let slot = &mut self.slots[index];
+        let reused = match slot {
+            Some(probe) => probe.clone_from_box(src),
+            None => false,
+        };
+        if !reused {
+            *slot = Some(src.clone_box());
+        }
+        slot.as_mut().expect("slot was just filled")
+    }
+
+    /// Swaps agent `index`'s probe with `live` (see the round loop's
+    /// *prediction fusion*: after the dry run the probe holds exactly the
+    /// post-Compute state of the live protocol, so swapping it in replaces a
+    /// second Look + Compute).
+    pub(crate) fn swap(&mut self, index: usize, live: &mut Box<dyn Protocol>) {
+        let probe = self.slots[index].as_mut().expect("probe exists for predicted agents");
+        std::mem::swap(probe, live);
     }
 }
 
@@ -137,9 +267,9 @@ pub struct AgentView {
     pub handedness: Handedness,
     /// What the agent would do if activated this round.
     ///
-    /// Predicting a decision requires cloning and dry-running the protocol,
-    /// so the engine only computes this when one of the installed policies
-    /// declares that it reads predictions (see
+    /// Predicting a decision requires dry-running the protocol, so the
+    /// engine only computes this when one of the installed policies declares
+    /// that it reads predictions (see
     /// [`EdgePolicy::needs_predictions`](crate::adversary::EdgePolicy::needs_predictions));
     /// otherwise live agents report [`PredictedAction::Stay`] here.
     pub predicted: PredictedAction,
@@ -197,90 +327,211 @@ impl RoundView<'_> {
 
 /// Refills `views` (a scratch buffer owned by the simulation) with the
 /// per-agent views of the upcoming round. The buffer's capacity is reused, so
-/// after the first round this performs no allocation. Decision predictions
-/// are only computed when `predict` is set, because predicting means cloning
-/// and dry-running each live protocol.
+/// after the first round this performs no allocation.
+///
+/// When `predict` is set (a policy running this round reads predictions) each
+/// live agent's protocol is dry-run on its Look snapshot through a probe from
+/// `probes`, and the raw [`Decision`] is stored in `predicted_decisions` so
+/// the round loop can *fuse* the prediction with the actual Compute step: the
+/// protocols are deterministic and the snapshot at Look time is identical, so
+/// the dry run already produced both this round's decision and the
+/// post-Compute state. (FSYNC rounds use [`fill_round_fsync`] instead,
+/// which skips the probes entirely.)
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn fill_agent_views(
     views: &mut Vec<AgentView>,
+    predicted_decisions: &mut Vec<Option<Decision>>,
+    probes: &mut ProbePool,
     ring: &RingTopology,
-    agents: &[AgentRuntime],
+    agents: &AgentSoA,
     round: u64,
     fsync: bool,
     predict: bool,
 ) {
+    predicted_decisions.clear();
+    predicted_decisions.resize(agents.len(), None);
+    if predict {
+        for (index, slot) in predicted_decisions.iter_mut().enumerate() {
+            if agents.terminated[index] {
+                continue;
+            }
+            let snapshot = build_snapshot(ring, agents, index, round, fsync);
+            let probe = probes.refresh(index, agents.protocol[index].as_ref());
+            *slot = Some(probe.decide(&snapshot));
+        }
+    }
+    fill_views_from_decisions(views, ring, agents, predicted_decisions, predict);
+}
+
+/// One-pass start of an FSYNC round: refills the agent views, the active set
+/// (every live agent — full synchrony ignores the activation policy), the
+/// activation mask, the claimed-port list (held ports only change during
+/// resolution, so the fill-time snapshot is the start-of-round truth) and,
+/// when `predict` is set, the fused predictions, all in a single traversal
+/// of the hot slices. Under FSYNC the prediction dry run
+/// *is* this round's Compute (see [`fill_agent_views_fsync_predict`]), so the
+/// recorded decisions are reused verbatim by the resolution phase.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fill_round_fsync(
+    views: &mut Vec<AgentView>,
+    predicted_decisions: &mut Vec<Option<Decision>>,
+    active: &mut Vec<AgentId>,
+    active_mask: &mut Vec<bool>,
+    claimed: &mut Vec<(NodeId, GlobalDirection)>,
+    ring: &RingTopology,
+    agents: &mut AgentSoA,
+    round: u64,
+    predict: bool,
+) {
     views.clear();
-    for (index, agent) in agents.iter().enumerate() {
-        let predicted = if agent.terminated {
+    active.clear();
+    active_mask.clear();
+    claimed.clear();
+    predicted_decisions.clear();
+    predicted_decisions.resize(agents.len(), None);
+    let count = agents.len();
+    for (index, predicted_slot) in predicted_decisions.iter_mut().enumerate().take(count) {
+        // Immutable hot slices are re-drawn per iteration (the protocol
+        // borrow below is field-disjoint); `[..count]` keeps the indexing
+        // bounds-check-free.
+        let is_terminated = agents.terminated[index];
+        let node = agents.node[index];
+        let held_port = agents.held_port[index];
+        let handedness = agents.handedness[index];
+        active_mask.push(!is_terminated);
+        if !is_terminated {
+            active.push(AgentId::new(index));
+        }
+        if let Some(port) = held_port {
+            claimed.push((node, port));
+        }
+        let predicted = if is_terminated {
             PredictedAction::Terminate
         } else if predict {
-            let snapshot = build_snapshot(ring, agents, index, round, fsync);
-            let mut probe = agent.protocol.clone_box();
-            predict_action(ring, agent, probe.decide(&snapshot))
+            let snapshot = build_snapshot(ring, agents, index, round, true);
+            let decision = agents.protocol[index].decide(&snapshot);
+            *predicted_slot = Some(decision);
+            predict_action(ring, node, handedness, decision)
         } else {
             PredictedAction::Stay
         };
         views.push(AgentView {
-            id: agent.id,
-            node: agent.node,
-            held_port: agent.held_port,
-            terminated: agent.terminated,
-            handedness: agent.handedness,
+            id: AgentId::new(index),
+            node,
+            held_port,
+            terminated: is_terminated,
+            handedness,
             predicted,
-            last_active_round: agent.last_active_round,
-            asleep_on_port: agent.asleep_on_port,
-            moves: agent.moves,
+            last_active_round: agents.last_active_round[index],
+            asleep_on_port: agents.asleep_on_port[index],
+            moves: agents.moves[index],
         });
     }
 }
 
-/// Builds the **Look** snapshot of `observer` given the positions of all
-/// agents (the paper's Look operation: own position, other agents at the same
-/// node, landmark flag, own previous outcome).
+/// Shared second pass of the fill functions: one [`AgentView`] per agent from
+/// the hot slices plus the already-computed decisions. The slices are
+/// re-sliced to a common length up front so the indexing below is
+/// bounds-check-free.
+fn fill_views_from_decisions(
+    views: &mut Vec<AgentView>,
+    ring: &RingTopology,
+    agents: &AgentSoA,
+    predicted_decisions: &[Option<Decision>],
+    predict: bool,
+) {
+    views.clear();
+    let count = agents.len();
+    let node = &agents.node[..count];
+    let held_port = &agents.held_port[..count];
+    let terminated = &agents.terminated[..count];
+    let handedness = &agents.handedness[..count];
+    let last_active_round = &agents.last_active_round[..count];
+    let asleep_on_port = &agents.asleep_on_port[..count];
+    let moves = &agents.moves[..count];
+    let predicted_decisions = &predicted_decisions[..count];
+    for index in 0..count {
+        let predicted = if terminated[index] {
+            PredictedAction::Terminate
+        } else if predict {
+            let decision = predicted_decisions[index]
+                .expect("every live agent carries a prediction on prediction rounds");
+            predict_action(ring, node[index], handedness[index], decision)
+        } else {
+            PredictedAction::Stay
+        };
+        views.push(AgentView {
+            id: AgentId::new(index),
+            node: node[index],
+            held_port: held_port[index],
+            terminated: terminated[index],
+            handedness: handedness[index],
+            predicted,
+            last_active_round: last_active_round[index],
+            asleep_on_port: asleep_on_port[index],
+            moves: moves[index],
+        });
+    }
+}
+
+/// Builds the **Look** snapshot of agent `observer` given the positions of
+/// all agents (the paper's Look operation: own position, other agents at the
+/// same node, landmark flag, own previous outcome). The occupancy loop is a
+/// straight pass over the two dense hot slices of the [`AgentSoA`].
 pub(crate) fn build_snapshot(
     ring: &RingTopology,
-    agents: &[AgentRuntime],
-    observer_index: usize,
+    agents: &AgentSoA,
+    observer: usize,
     round: u64,
     fsync: bool,
 ) -> Snapshot {
-    let observer = &agents[observer_index];
+    let count = agents.len();
+    let node = &agents.node[..count];
+    let held_port = &agents.held_port[..count];
+    let observer_node = node[observer];
+    let observer_handedness = agents.handedness[observer];
     let mut occupancy = NodeOccupancy::default();
-    for (i, other) in agents.iter().enumerate() {
-        if i == observer_index || other.node != observer.node {
-            continue;
-        }
-        match other.held_port {
-            None => occupancy.in_node += 1,
-            Some(gdir) => match observer.to_local(gdir) {
-                LocalDirection::Left => occupancy.on_left_port += 1,
-                LocalDirection::Right => occupancy.on_right_port += 1,
-            },
+    // While no node holds two agents (tracked incrementally), every
+    // observer's occupancy is trivially empty and the team scan is skipped.
+    if agents.crowded_nodes > 0 {
+        for index in 0..count {
+            if index == observer || node[index] != observer_node {
+                continue;
+            }
+            match held_port[index] {
+                None => occupancy.in_node += 1,
+                Some(gdir) => match to_local(observer_handedness, gdir) {
+                    LocalDirection::Left => occupancy.on_left_port += 1,
+                    LocalDirection::Right => occupancy.on_right_port += 1,
+                },
+            }
         }
     }
-    let position = match observer.held_port {
+    let position = match agents.held_port[observer] {
         None => LocalPosition::InNode,
-        Some(gdir) => LocalPosition::OnPort(observer.to_local(gdir)),
+        Some(gdir) => LocalPosition::OnPort(to_local(observer_handedness, gdir)),
     };
     Snapshot {
         position,
-        is_landmark: ring.is_landmark(observer.node),
+        is_landmark: ring.is_landmark(observer_node),
         occupancy,
-        prior: observer.prior,
+        prior: agents.prior[observer],
         round_hint: if fsync { Some(round) } else { None },
     }
 }
 
-/// Converts a protocol [`Decision`] into the adversary-facing
-/// [`PredictedAction`].
+/// Converts a protocol [`Decision`] of an agent standing at `node` with the
+/// given orientation into the adversary-facing [`PredictedAction`].
 pub(crate) fn predict_action(
     ring: &RingTopology,
-    agent: &AgentRuntime,
+    node: NodeId,
+    handedness: Handedness,
     decision: Decision,
 ) -> PredictedAction {
     match decision {
         Decision::Move(ldir) => {
-            let gdir = agent.to_global(ldir);
-            PredictedAction::Move { edge: ring.edge_towards(agent.node, gdir), direction: gdir }
+            let gdir = to_global(handedness, ldir);
+            PredictedAction::Move { edge: ring.edge_towards(node, gdir), direction: gdir }
         }
         Decision::Stay => PredictedAction::Stay,
         Decision::Retreat => PredictedAction::Retreat,
@@ -313,26 +564,24 @@ mod tests {
         }
     }
 
-    fn runtime(id: usize, node: usize, handedness: Handedness, ring: &RingTopology) -> AgentRuntime {
-        AgentRuntime::new(
-            AgentId::new(id),
-            NodeId::new(node),
-            handedness,
-            Box::new(GoLeft),
-            ring.size(),
-        )
+    fn team(ring: &RingTopology, agents: &[(usize, Handedness)]) -> AgentSoA {
+        let mut soa = AgentSoA::new(ring.size());
+        for (node, handedness) in agents {
+            soa.push(NodeId::new(*node), *handedness, Box::new(GoLeft));
+        }
+        soa
     }
 
     #[test]
     fn local_global_conversion_roundtrips() {
         let ring = RingTopology::new(5).unwrap();
         for h in Handedness::both() {
-            let a = runtime(0, 0, h, &ring);
+            let soa = team(&ring, &[(0, h)]);
             for d in LocalDirection::both() {
-                assert_eq!(a.to_local(a.to_global(d)), d);
+                assert_eq!(to_local(h, to_global(soa.handedness[0], d)), d);
             }
             for g in GlobalDirection::both() {
-                assert_eq!(a.to_global(a.to_local(g)), g);
+                assert_eq!(to_global(soa.handedness[0], to_local(h, g)), g);
             }
         }
     }
@@ -340,13 +589,16 @@ mod tests {
     #[test]
     fn snapshot_sees_other_agents_in_the_observers_frame() {
         let ring = RingTopology::with_landmark(6, NodeId::new(2)).unwrap();
-        let mut agents = vec![
-            runtime(0, 2, Handedness::LeftIsCcw, &ring),
-            runtime(1, 2, Handedness::LeftIsCw, &ring),
-            runtime(2, 3, Handedness::LeftIsCcw, &ring),
-        ];
+        let mut agents = team(
+            &ring,
+            &[
+                (2, Handedness::LeftIsCcw),
+                (2, Handedness::LeftIsCw),
+                (3, Handedness::LeftIsCcw),
+            ],
+        );
         // Agent 1 is waiting on the CCW port of node 2.
-        agents[1].held_port = Some(GlobalDirection::Ccw);
+        agents.held_port[1] = Some(GlobalDirection::Ccw);
 
         let snap0 = build_snapshot(&ring, &agents, 0, 7, true);
         // Observer 0 (left = CCW) sees agent 1 on its *left* port.
@@ -372,21 +624,32 @@ mod tests {
     #[test]
     fn predicted_action_maps_direction_and_edge() {
         let ring = RingTopology::new(6).unwrap();
-        let a = runtime(0, 0, Handedness::LeftIsCcw, &ring);
-        let p = predict_action(&ring, &a, Decision::Move(LocalDirection::Left));
+        let p = predict_action(
+            &ring,
+            NodeId::new(0),
+            Handedness::LeftIsCcw,
+            Decision::Move(LocalDirection::Left),
+        );
         assert_eq!(
             p,
             PredictedAction::Move { edge: EdgeId::new(0), direction: GlobalDirection::Ccw }
         );
         assert_eq!(p.target_edge(), Some(EdgeId::new(0)));
         assert!(p.is_move());
-        let b = runtime(1, 0, Handedness::LeftIsCw, &ring);
-        let q = predict_action(&ring, &b, Decision::Move(LocalDirection::Left));
+        let q = predict_action(
+            &ring,
+            NodeId::new(0),
+            Handedness::LeftIsCw,
+            Decision::Move(LocalDirection::Left),
+        );
         assert_eq!(
             q,
             PredictedAction::Move { edge: EdgeId::new(5), direction: GlobalDirection::Cw }
         );
-        assert_eq!(predict_action(&ring, &a, Decision::Stay), PredictedAction::Stay);
+        assert_eq!(
+            predict_action(&ring, NodeId::new(0), Handedness::LeftIsCcw, Decision::Stay),
+            PredictedAction::Stay
+        );
         assert!(!PredictedAction::Retreat.is_move());
         assert_eq!(PredictedAction::Terminate.target_edge(), None);
     }
@@ -394,8 +657,69 @@ mod tests {
     #[test]
     fn visited_count_starts_with_the_start_node() {
         let ring = RingTopology::new(4).unwrap();
-        let a = runtime(0, 3, Handedness::LeftIsCcw, &ring);
-        assert_eq!(a.visited_count(), 1);
-        assert!(a.visited[3]);
+        let soa = team(&ring, &[(3, Handedness::LeftIsCcw)]);
+        assert_eq!(soa.visited_count(0), 1);
+    }
+
+    #[test]
+    fn probe_pool_reuses_slots_and_survives_type_mismatches() {
+        #[derive(Debug, Clone)]
+        struct Stepper {
+            steps: u64,
+        }
+        impl Protocol for Stepper {
+            fn name(&self) -> &'static str {
+                "stepper"
+            }
+            fn termination_kind(&self) -> TerminationKind {
+                TerminationKind::Unconscious
+            }
+            fn decide(&mut self, _snapshot: &Snapshot) -> Decision {
+                self.steps += 1;
+                Decision::Stay
+            }
+            fn has_terminated(&self) -> bool {
+                false
+            }
+            fn clone_box(&self) -> Box<dyn Protocol> {
+                Box::new(self.clone())
+            }
+            fn as_any(&self) -> Option<&dyn std::any::Any> {
+                Some(self)
+            }
+            fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+                dynring_model::clone_state_from(self, src)
+            }
+        }
+
+        let mut pool = ProbePool::default();
+        let live = Stepper { steps: 5 };
+        let probe = pool.refresh(0, &live);
+        assert!(probe.state_label().contains("steps: 5"));
+        // Mutate the probe, then refresh again: the state is copied back in
+        // place (same slot, no mismatch).
+        let _ = probe.decide(&build_dummy_snapshot());
+        let probe = pool.refresh(0, &live);
+        assert!(probe.state_label().contains("steps: 5"));
+        // A different protocol type in the same slot falls back to clone_box.
+        let other = GoLeft;
+        let probe = pool.refresh(0, &other);
+        assert_eq!(probe.name(), "go-left");
+        // Swapping hands the probe to the caller and parks the old live box.
+        let mut live_box: Box<dyn Protocol> = Box::new(Stepper { steps: 9 });
+        let probe = pool.refresh(1, &live);
+        let _ = probe.decide(&build_dummy_snapshot());
+        pool.swap(1, &mut live_box);
+        assert!(live_box.state_label().contains("steps: 6"));
+    }
+
+    fn build_dummy_snapshot() -> Snapshot {
+        Snapshot {
+            position: LocalPosition::InNode,
+            is_landmark: false,
+            occupancy: NodeOccupancy::default(),
+            prior: PriorOutcome::Idle,
+            round_hint: Some(1),
+        }
     }
 }

@@ -135,9 +135,16 @@ impl RingTopology {
     pub fn neighbor(&self, node: NodeId, dir: GlobalDirection) -> NodeId {
         assert!(node.index() < self.size, "node {node} out of range (n={})", self.size);
         let n = self.size;
+        // Branchless-friendly wrap instead of `%` (a hardware division):
+        // this sits on the engine's per-round hot path.
         let next = match dir {
-            GlobalDirection::Ccw => (node.index() + 1) % n,
-            GlobalDirection::Cw => (node.index() + n - 1) % n,
+            GlobalDirection::Ccw => {
+                let next = node.index() + 1;
+                if next == n { 0 } else { next }
+            }
+            GlobalDirection::Cw => {
+                if node.index() == 0 { n - 1 } else { node.index() - 1 }
+            }
         };
         NodeId::new(next)
     }
@@ -153,7 +160,12 @@ impl RingTopology {
         assert!(node.index() < self.size, "node {node} out of range (n={})", self.size);
         match dir {
             GlobalDirection::Ccw => EdgeId::new(node.index()),
-            GlobalDirection::Cw => EdgeId::new((node.index() + self.size - 1) % self.size),
+            // Wrap without `%` (hot path, see `neighbor`).
+            GlobalDirection::Cw => EdgeId::new(if node.index() == 0 {
+                self.size - 1
+            } else {
+                node.index() - 1
+            }),
         }
     }
 

@@ -32,5 +32,5 @@ pub mod snapshot;
 
 pub use decision::Decision;
 pub use knowledge::{Knowledge, ScenarioAssumptions, SynchronyModel, TransportModel};
-pub use protocol::{BoxedProtocol, Protocol, TerminationKind};
+pub use protocol::{clone_state_from, BoxedProtocol, Protocol, TerminationKind};
 pub use snapshot::{LocalDirection, LocalPosition, NodeOccupancy, PriorOutcome, Snapshot};

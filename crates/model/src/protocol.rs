@@ -76,15 +76,106 @@ pub trait Protocol: Send + fmt::Debug {
 
     /// Whether the agent has entered its terminal state. Once `true`, the
     /// engine never activates the agent again and it never moves.
+    ///
+    /// Protocols whose [`Protocol::termination_kind`] is
+    /// [`TerminationKind::Unconscious`] promise this is constantly `false`
+    /// (unconscious exploration never stops); the engine relies on that and
+    /// skips the per-round poll for them.
     fn has_terminated(&self) -> bool;
 
     /// Clones the protocol together with its full internal state.
     fn clone_box(&self) -> Box<dyn Protocol>;
 
+    /// The protocol as a [`std::any::Any`] reference, enabling the in-place
+    /// state copy of [`Protocol::clone_from_box`]. Protocols that opt into
+    /// probe reuse return `Some(self)`; the default (`None`) makes every
+    /// state copy fall back to a fresh [`Protocol::clone_box`].
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+
+    /// Copies `src`'s full internal state into `self` **in place**, returning
+    /// whether the copy happened. A copy happens only when both protocols are
+    /// the same concrete type (checked through [`Protocol::as_any`]); the
+    /// default implementation refuses every copy, and callers then fall back
+    /// to an owned [`Protocol::clone_box`].
+    ///
+    /// This is the allocation-free sibling of `clone_box`: the engine keeps a
+    /// per-agent pool of *probe* instances and refreshes each probe from the
+    /// live protocol every round instead of boxing a new clone, which is what
+    /// makes omniscient-adversary predictions (the paper's impossibility
+    /// constructions dry-run every agent every round) as cheap as the plain
+    /// round loop. Implementors usually delegate to [`clone_state_from`]:
+    ///
+    /// ```
+    /// use dynring_model::{
+    ///     clone_state_from, Decision, LocalDirection, Protocol, Snapshot, TerminationKind,
+    /// };
+    ///
+    /// #[derive(Debug, Clone, Default)]
+    /// struct Pacer {
+    ///     steps: u64,
+    /// }
+    ///
+    /// impl Protocol for Pacer {
+    ///     fn name(&self) -> &'static str { "pacer" }
+    ///     fn termination_kind(&self) -> TerminationKind { TerminationKind::Unconscious }
+    ///     fn decide(&mut self, _snapshot: &Snapshot) -> Decision {
+    ///         self.steps += 1;
+    ///         Decision::Move(LocalDirection::Left)
+    ///     }
+    ///     fn has_terminated(&self) -> bool { false }
+    ///     fn clone_box(&self) -> Box<dyn Protocol> { Box::new(self.clone()) }
+    ///     fn as_any(&self) -> Option<&dyn std::any::Any> { Some(self) }
+    ///     fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+    ///         clone_state_from(self, src)
+    ///     }
+    /// }
+    ///
+    /// let live = Pacer { steps: 41 };
+    /// let mut probe = Pacer { steps: 7 };
+    /// assert!(probe.clone_from_box(&live));           // same type: copied in place
+    /// assert_eq!(probe.steps, 41);
+    ///
+    /// #[derive(Debug, Clone, Default)]
+    /// struct Other;
+    /// # impl Protocol for Other {
+    /// #     fn name(&self) -> &'static str { "other" }
+    /// #     fn termination_kind(&self) -> TerminationKind { TerminationKind::Unconscious }
+    /// #     fn decide(&mut self, _s: &Snapshot) -> Decision { Decision::Stay }
+    /// #     fn has_terminated(&self) -> bool { false }
+    /// #     fn clone_box(&self) -> Box<dyn Protocol> { Box::new(self.clone()) }
+    /// #     fn as_any(&self) -> Option<&dyn std::any::Any> { Some(self) }
+    /// # }
+    /// assert!(!probe.clone_from_box(&Other));         // type mismatch: refused
+    /// assert_eq!(probe.steps, 41);
+    /// ```
+    fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
+        let _ = src;
+        false
+    }
+
     /// A free-form description of the internal state for traces and
     /// debugging; the default implementation uses the `Debug` representation.
     fn state_label(&self) -> String {
         format!("{self:?}")
+    }
+}
+
+/// Copies `src`'s state into `dst` when `src` is also a `T`, returning
+/// whether the copy happened. The copy goes through [`Clone::clone_from`], so
+/// types that override it (reusing existing heap capacity) stay
+/// allocation-free in the steady state.
+///
+/// This is the standard body of a [`Protocol::clone_from_box`] implementation;
+/// see the trait method for a full example.
+pub fn clone_state_from<T: Protocol + Clone + 'static>(dst: &mut T, src: &dyn Protocol) -> bool {
+    match src.as_any().and_then(|any| any.downcast_ref::<T>()) {
+        Some(concrete) => {
+            dst.clone_from(concrete);
+            true
+        }
+        None => false,
     }
 }
 

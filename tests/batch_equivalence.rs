@@ -9,7 +9,7 @@
 use dynring_analysis::batch::BatchRunner;
 use dynring_analysis::scenario::Scenario;
 use dynring_analysis::sweeps::{self, adversary_suite};
-use dynring_analysis::{markdown_table, tables};
+use dynring_analysis::{figures, lower_bounds, markdown_table, tables};
 use dynring_core::Algorithm;
 use proptest::prelude::*;
 
@@ -88,4 +88,26 @@ fn rendered_tables_are_byte_identical_across_runners() {
         out
     };
     assert_eq!(render(&sequential_runner), render(&parallel_runner));
+}
+
+/// The figure battery fans seven independent experiments across threads;
+/// merging in input order must make the rows byte-identical to the
+/// sequential reference whatever the thread count (ROADMAP "Scale — batch
+/// the figure/lower-bound experiments").
+#[test]
+fn figures_are_thread_count_invariant() {
+    let sequential = figures::all_figures_with(&BatchRunner::sequential(), 8);
+    for threads in [2, 4, 7] {
+        let parallel = figures::all_figures_with(&BatchRunner::new(threads), 8);
+        assert_eq!(sequential, parallel, "{threads} threads");
+    }
+}
+
+/// The lower-bound sweeps route their batteries through the runner like the
+/// tables; the folded rows must match the sequential reference.
+#[test]
+fn lower_bounds_are_thread_count_invariant() {
+    let sequential = lower_bounds::theorem13_15_with(&BatchRunner::sequential(), &[6], 1);
+    let parallel = lower_bounds::theorem13_15_with(&BatchRunner::new(4), &[6], 1);
+    assert_eq!(sequential, parallel);
 }

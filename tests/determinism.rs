@@ -69,6 +69,25 @@ fn golden_scenarios() -> Vec<(&'static str, Scenario, u64)> {
                 .with_trace(),
             0x9b1c_7bdf_1a2f_18db,
         ),
+        // Prediction-on goldens: the omniscient `PreventMeeting` adversary
+        // forces the engine to predict every agent's decision each round, so
+        // these digests pin the probe-pool / prediction-fusion path (state
+        // copies instead of per-round clone_box) bit-for-bit against the
+        // pre-refactor engine.
+        (
+            "fsync/known-bound/prevent-meeting",
+            Scenario::fsync(9, Algorithm::KnownBound { upper_bound: 9 })
+                .with_adversary(AdversaryKind::PreventMeeting)
+                .with_trace(),
+            0xf643_235d_5ffb_91d7,
+        ),
+        (
+            "ssync/pt-bound-chirality/prevent-meeting",
+            Scenario::ssync(6, Algorithm::PtBoundChirality { upper_bound: 6 }, 5)
+                .with_adversary(AdversaryKind::PreventMeeting)
+                .with_trace(),
+            0x92bb_8aa1_3ca5_f4c7,
+        ),
         (
             "ssync/pt-bound-chirality/sticky",
             Scenario::ssync(6, Algorithm::PtBoundChirality { upper_bound: 6 }, 11).with_trace(),

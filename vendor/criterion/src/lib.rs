@@ -5,8 +5,14 @@
 //! `benchmark_group`, `bench_function` / `bench_with_input`, `BenchmarkId`,
 //! `black_box` and the `criterion_group!` / `criterion_main!` macros. Timing
 //! is a straightforward wall-clock loop (warm-up, then sample for the
-//! configured measurement time) reporting mean ns/iter — no statistics,
-//! no plots, but honest numbers, and identical bench-target source code.
+//! configured measurement time) reporting the mean and the p50/p90/p99
+//! per-iteration percentiles — no plots, but honest numbers, and identical
+//! bench-target source code. Every call is timed individually; the mean is
+//! the average of the recorded samples, so the loop's own bookkeeping (the
+//! sample push, the window check) stays outside the reported numbers.
+//! Samples are capped at [`MAX_SAMPLES`]; past the cap the mean falls back
+//! to wall-clock-window / iterations and the percentiles describe the first
+//! million iterations.
 
 #![forbid(unsafe_code)]
 
@@ -47,32 +53,83 @@ impl Display for BenchmarkId {
     }
 }
 
+/// Upper bound on recorded per-iteration samples (8 MiB of `u64`s); see the
+/// crate docs for the semantics past the cap.
+pub const MAX_SAMPLES: usize = 1 << 20;
+
+/// Summary statistics of one benchmark run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Mean nanoseconds per iteration (average of the per-call samples
+    /// while under [`MAX_SAMPLES`]; wall-clock window / iterations past it).
+    pub mean_ns: f64,
+    /// Median per-iteration nanoseconds.
+    pub p50_ns: f64,
+    /// 90th-percentile per-iteration nanoseconds.
+    pub p90_ns: f64,
+    /// 99th-percentile per-iteration nanoseconds.
+    pub p99_ns: f64,
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of a **sorted** sample slice, by the
+/// nearest-rank method. Returns 0 for an empty slice.
+#[must_use]
+pub fn percentile(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
 /// Per-iteration timing driver handed to the benchmark closure.
 pub struct Bencher {
     warm_up_time: Duration,
     measurement_time: Duration,
-    mean_ns: Option<f64>,
+    stats: Option<Stats>,
     iters: u64,
+    samples: Vec<u64>,
 }
 
 impl Bencher {
     /// Calls `routine` repeatedly: first for the warm-up window, then for the
-    /// measurement window, recording the mean wall-clock time per call.
+    /// measurement window, recording the wall-clock time of every call (up
+    /// to [`MAX_SAMPLES`]) for the mean and percentile report.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
         let warm_up_start = Instant::now();
         while warm_up_start.elapsed() < self.warm_up_time {
             black_box(routine());
         }
+        self.samples.clear();
         let start = Instant::now();
         let mut iters: u64 = 0;
         loop {
+            let iteration_start = Instant::now();
             black_box(routine());
+            let iteration_ns = iteration_start.elapsed().as_nanos() as u64;
+            if self.samples.len() < MAX_SAMPLES {
+                self.samples.push(iteration_ns);
+            }
             iters += 1;
             if start.elapsed() >= self.measurement_time {
                 break;
             }
         }
-        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+        // While every iteration was sampled, the mean comes from the samples
+        // themselves, keeping the loop's bookkeeping out of the number; past
+        // the cap, fall back to the wall-clock window.
+        let mean_ns = if (self.samples.len() as u64) == iters {
+            self.samples.iter().sum::<u64>() as f64 / iters as f64
+        } else {
+            start.elapsed().as_nanos() as f64 / iters as f64
+        };
+        self.samples.sort_unstable();
+        self.stats = Some(Stats {
+            mean_ns,
+            p50_ns: percentile(&self.samples, 0.50),
+            p90_ns: percentile(&self.samples, 0.90),
+            p99_ns: percentile(&self.samples, 0.99),
+        });
         self.iters = iters;
     }
 }
@@ -117,8 +174,9 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
-            mean_ns: None,
+            stats: None,
             iters: 0,
+            samples: Vec::new(),
         };
         f(&mut bencher);
         self.report(&id, &bencher);
@@ -136,8 +194,9 @@ impl BenchmarkGroup<'_> {
         let mut bencher = Bencher {
             warm_up_time: self.warm_up_time,
             measurement_time: self.measurement_time,
-            mean_ns: None,
+            stats: None,
             iters: 0,
+            samples: Vec::new(),
         };
         f(&mut bencher, input);
         self.report(&id, &bencher);
@@ -150,10 +209,16 @@ impl BenchmarkGroup<'_> {
     }
 
     fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
-        match bencher.mean_ns {
-            Some(mean) => println!(
-                "{}/{}: {:>12.1} ns/iter ({} iterations)",
-                self.name, id, mean, bencher.iters
+        match bencher.stats {
+            Some(stats) => println!(
+                "{}/{}: {:>12.1} ns/iter (p50={:.1} p90={:.1} p99={:.1}; {} iterations)",
+                self.name,
+                id,
+                stats.mean_ns,
+                stats.p50_ns,
+                stats.p90_ns,
+                stats.p99_ns,
+                bencher.iters
             ),
             None => println!("{}/{}: no measurement taken", self.name, id),
         }
@@ -210,4 +275,37 @@ macro_rules! criterion_main {
             $( $group(); )+
         }
     };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 0.50), 50.0);
+        assert_eq!(percentile(&sorted, 0.90), 90.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[42], 0.5), 42.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn bencher_reports_ordered_percentiles() {
+        let mut bencher = Bencher {
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(10),
+            stats: None,
+            iters: 0,
+            samples: Vec::new(),
+        };
+        bencher.iter(|| std::hint::black_box((0..100u64).sum::<u64>()));
+        let stats = bencher.stats.expect("iter records stats");
+        assert!(bencher.iters > 0);
+        assert!(stats.mean_ns > 0.0);
+        assert!(stats.p50_ns <= stats.p90_ns);
+        assert!(stats.p90_ns <= stats.p99_ns);
+    }
 }

@@ -227,6 +227,17 @@ macro_rules! prop_assert_eq {
             )));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if left != right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "{} (left: {:?}, right: {:?})",
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
 }
 
 /// The commonly used items (stand-in for `proptest::prelude`).
