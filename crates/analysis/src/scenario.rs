@@ -121,6 +121,36 @@ impl AdversaryKind {
     }
 }
 
+/// How a scenario's agents dispatch their Compute step.
+///
+/// The catalogue of the paper is closed, so the engine offers two observably
+/// identical representations of every catalogue protocol (see
+/// `docs/ARCHITECTURE.md`, "The dispatch story"): the statically dispatched
+/// [`CatalogProtocol`](dynring_core::CatalogProtocol) enum and the classic
+/// virtual `Box<dyn Protocol>`. Scenarios default to the enum fast path;
+/// the `dyn` path is kept selectable so the equivalence tests
+/// (`tests/dispatch_equivalence.rs`) and the `dispatch=enum|dyn` benchmark
+/// rows can compare the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DispatchKind {
+    /// Statically dispatched enum runtime (`Algorithm::instantiate_enum`).
+    #[default]
+    Enum,
+    /// Virtually dispatched boxed runtime (`Algorithm::instantiate`).
+    Dyn,
+}
+
+impl DispatchKind {
+    /// The label used in benchmark case ids and report rows.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchKind::Enum => "enum",
+            DispatchKind::Dyn => "dyn",
+        }
+    }
+}
+
 /// The activation schedulers available to scenarios.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum SchedulerKind {
@@ -203,6 +233,8 @@ pub struct Scenario {
     pub stop: StopCondition,
     /// Whether to record a full trace.
     pub record_trace: bool,
+    /// How the agents dispatch Compute (enum fast path by default).
+    pub dispatch: DispatchKind,
 }
 
 impl Scenario {
@@ -226,6 +258,7 @@ impl Scenario {
             max_rounds: 64 * ring_size as u64 + 512,
             stop: StopCondition::AllTerminated,
             record_trace: false,
+            dispatch: DispatchKind::Enum,
         }
     }
 
@@ -307,6 +340,13 @@ impl Scenario {
         self
     }
 
+    /// Replaces the dispatch representation (enum fast path by default).
+    #[must_use]
+    pub fn with_dispatch(mut self, dispatch: DispatchKind) -> Self {
+        self.dispatch = dispatch;
+        self
+    }
+
     /// Builds the simulation for this scenario.
     ///
     /// # Panics
@@ -329,11 +369,18 @@ impl Scenario {
         for (i, start) in self.starts.iter().enumerate() {
             let handedness =
                 self.orientations.get(i).copied().unwrap_or(Handedness::LeftIsCcw);
-            builder = builder.agent(
-                NodeId::new(*start),
-                handedness,
-                self.algorithm.instantiate(),
-            );
+            builder = match self.dispatch {
+                DispatchKind::Enum => builder.agent_program(
+                    NodeId::new(*start),
+                    handedness,
+                    self.algorithm.instantiate_enum(),
+                ),
+                DispatchKind::Dyn => builder.agent(
+                    NodeId::new(*start),
+                    handedness,
+                    self.algorithm.instantiate(),
+                ),
+            };
         }
         builder.build().expect("scenario must describe a valid simulation")
     }
@@ -400,6 +447,17 @@ mod tests {
         assert!(s.record_trace);
         let report = s.run();
         assert!(report.explored());
+    }
+
+    #[test]
+    fn dispatch_defaults_to_enum_and_is_overridable() {
+        let s = Scenario::fsync(8, Algorithm::KnownBound { upper_bound: 8 });
+        assert_eq!(s.dispatch, DispatchKind::Enum);
+        let enum_report = s.clone().run();
+        let dyn_report = s.with_dispatch(DispatchKind::Dyn).run();
+        assert_eq!(enum_report, dyn_report);
+        assert_eq!(DispatchKind::Enum.label(), "enum");
+        assert_eq!(DispatchKind::Dyn.label(), "dyn");
     }
 
     #[test]

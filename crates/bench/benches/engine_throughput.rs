@@ -12,8 +12,8 @@
 //! ```
 
 use dynring_bench::throughput::{
-    fast_mode, measure, out_path, parse_baseline, regressions, standard_cases, write_json,
-    ThroughputSample,
+    dispatch_comparisons, fast_mode, measure, out_path, parse_baseline, regressions,
+    standard_cases, write_json, ThroughputSample,
 };
 use std::time::Duration;
 
@@ -46,6 +46,14 @@ fn main() {
             sample.case.id, sample.rounds, sample.rounds_per_sec
         );
         samples.push(sample);
+    }
+
+    let comparisons = dispatch_comparisons(&samples);
+    if !comparisons.is_empty() {
+        println!();
+        for line in &comparisons {
+            println!("{line}");
+        }
     }
 
     let path = out_path();

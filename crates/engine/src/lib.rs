@@ -4,7 +4,11 @@
 //! *Live Exploration of Dynamic Rings* against pluggable adversaries:
 //!
 //! * [`world`] — the "god view": where each agent stands, which ports are
-//!   held, which nodes have been visited;
+//!   held, which nodes have been visited — plus [`world::AgentProgram`],
+//!   the two-representation agent runtime (statically dispatched
+//!   [`CatalogProtocol`](dynring_core::CatalogProtocol) fast path for
+//!   catalogue teams, `Box<dyn Protocol>` escape hatch for user-defined
+//!   protocols; see `docs/ARCHITECTURE.md`, "The dispatch story");
 //! * [`scheduler`] — activation policies: the FSYNC scheduler, fair and
 //!   adversarial SSYNC schedulers, and the ET-fairness wrapper;
 //! * [`adversary`] — edge-removal policies: benign, random, scripted
@@ -18,19 +22,24 @@
 //!
 //! # Quick example
 //!
+//! Catalogue agents ride the enum fast path via
+//! [`SimulationBuilder::agent_program`](sim::SimulationBuilder::agent_program);
+//! `agent` with a `Box<dyn Protocol>` is the equivalent escape hatch.
+//!
 //! ```
-//! use dynring_core::fsync::KnownBound;
+//! use dynring_core::Algorithm;
 //! use dynring_engine::adversary::NoRemoval;
 //! use dynring_engine::scheduler::FullActivation;
 //! use dynring_engine::sim::{Simulation, StopCondition};
 //! use dynring_graph::{Handedness, NodeId, RingTopology};
 //! use dynring_model::SynchronyModel;
 //!
+//! let alg = Algorithm::KnownBound { upper_bound: 8 };
 //! let ring = RingTopology::new(8).unwrap();
 //! let mut sim = Simulation::builder(ring)
 //!     .synchrony(SynchronyModel::Fsync)
-//!     .agent(NodeId::new(0), Handedness::LeftIsCcw, Box::new(KnownBound::new(8)))
-//!     .agent(NodeId::new(3), Handedness::LeftIsCcw, Box::new(KnownBound::new(8)))
+//!     .agent_program(NodeId::new(0), Handedness::LeftIsCcw, alg.instantiate_enum())
+//!     .agent_program(NodeId::new(3), Handedness::LeftIsCcw, alg.instantiate_enum())
 //!     .activation(Box::new(FullActivation))
 //!     .edges(Box::new(NoRemoval))
 //!     .build()
@@ -56,4 +65,4 @@ pub use error::EngineError;
 pub use scheduler::ActivationPolicy;
 pub use sim::{RunReport, Simulation, SimulationBuilder, StopCondition};
 pub use trace::{RoundRecord, Trace};
-pub use world::{AgentView, PredictedAction, RoundView};
+pub use world::{AgentProgram, AgentView, PredictedAction, RoundView};

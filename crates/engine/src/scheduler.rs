@@ -142,18 +142,31 @@ impl ActivationPolicy for RandomSubset {
     }
 
     fn select(&mut self, view: &RoundView<'_>) -> Vec<AgentId> {
-        let alive: Vec<AgentId> = view.alive().map(|a| a.id).collect();
-        if alive.is_empty() {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.select_into(view, &mut out);
+        out
+    }
+
+    /// Scratch-filling re-draw loop: each attempt draws one `gen_bool` per
+    /// alive agent in id order (the same RNG sequence as the historical
+    /// collect-based implementation, so seeded schedules are unchanged) and
+    /// fills `out` directly instead of collecting a fresh `Vec` per round.
+    fn select_into(&mut self, view: &RoundView<'_>, out: &mut Vec<AgentId>) {
+        if view.alive().next().is_none() {
+            return;
         }
         for _ in 0..64 {
-            let chosen: Vec<AgentId> =
-                alive.iter().copied().filter(|_| self.rng.gen_bool(self.probability)).collect();
-            if !chosen.is_empty() {
-                return chosen;
+            out.clear();
+            for agent in view.alive() {
+                if self.rng.gen_bool(self.probability) {
+                    out.push(agent.id);
+                }
+            }
+            if !out.is_empty() {
+                return;
             }
         }
-        alive
+        out.extend(view.alive().map(|a| a.id));
     }
 
     fn needs_predictions(&self) -> bool {
@@ -359,6 +372,26 @@ mod tests {
             let sb = b.select(&v);
             assert!(!sa.is_empty());
             assert_eq!(sa, sb);
+        }
+    }
+
+    #[test]
+    fn random_subset_select_into_matches_select_draw_for_draw() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let agents =
+            vec![agent_view(0, true, 0, 0), agent_view(1, true, 0, 0), agent_view(2, true, 0, 0)];
+        let v = view(&ring, &visited, agents);
+        // Same seed through both entry points: the scratch-filling path must
+        // consume the RNG identically, so seeded schedules are unchanged.
+        let mut via_select = RandomSubset::new(0.3, 97);
+        let mut via_into = RandomSubset::new(0.3, 97);
+        let mut scratch = Vec::new();
+        for _ in 0..200 {
+            scratch.clear();
+            via_into.select_into(&v, &mut scratch);
+            assert_eq!(via_select.select(&v), scratch);
+            assert!(!scratch.is_empty());
         }
     }
 

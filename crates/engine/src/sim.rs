@@ -5,8 +5,8 @@ use crate::error::EngineError;
 use crate::scheduler::ActivationPolicy;
 use crate::trace::{AgentRoundRecord, RoundRecord, Trace};
 use crate::world::{
-    build_snapshot, fill_agent_views, fill_round_fsync, predict_action, AgentSoA, AgentView,
-    ProbePool, RoundView,
+    build_snapshot, fill_agent_views, fill_round_fsync, predict_action, AgentProgram, AgentSoA,
+    AgentView, ProbePool, RoundView,
 };
 use dynring_graph::{AgentId, EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
 use dynring_model::{Decision, PriorOutcome, Protocol, SynchronyModel, TransportModel};
@@ -99,7 +99,7 @@ impl RunReport {
 pub struct SimulationBuilder {
     ring: RingTopology,
     synchrony: SynchronyModel,
-    agents: Vec<(NodeId, Handedness, Box<dyn Protocol>)>,
+    agents: Vec<(NodeId, Handedness, AgentProgram)>,
     activation: Option<Box<dyn ActivationPolicy>>,
     edges: Option<Box<dyn EdgePolicy>>,
     record_trace: bool,
@@ -113,7 +113,10 @@ impl SimulationBuilder {
         self
     }
 
-    /// Adds an agent with its start node, private orientation and protocol.
+    /// Adds an agent with its start node, private orientation and a boxed
+    /// protocol (the `dyn`-dispatch extension escape hatch; equivalent to
+    /// [`SimulationBuilder::agent_program`] with an
+    /// [`AgentProgram::Boxed`]).
     #[must_use]
     pub fn agent(
         mut self,
@@ -121,7 +124,25 @@ impl SimulationBuilder {
         handedness: Handedness,
         protocol: Box<dyn Protocol>,
     ) -> Self {
-        self.agents.push((start, handedness, protocol));
+        self.agents.push((start, handedness, AgentProgram::Boxed(protocol)));
+        self
+    }
+
+    /// Adds an agent with its start node, private orientation and program.
+    ///
+    /// Accepts both sides of the engine's dispatch story: a
+    /// [`CatalogProtocol`](dynring_core::CatalogProtocol) (the statically
+    /// dispatched fast path — pass `algorithm.instantiate_enum()`) or an
+    /// explicit [`AgentProgram`]. Mixed teams are fine; see the
+    /// `dynring_core::catalog` docs for a worked example.
+    #[must_use]
+    pub fn agent_program(
+        mut self,
+        start: NodeId,
+        handedness: Handedness,
+        program: impl Into<AgentProgram>,
+    ) -> Self {
+        self.agents.push((start, handedness, program.into()));
         self
     }
 
@@ -483,12 +504,12 @@ impl Simulation {
                 let handedness = self.agents.handedness[index];
                 let decision = if active_mask[index] {
                     let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
-                    let decision = self.agents.protocol[index].decide(&snapshot);
+                    let decision = self.agents.program[index].decide(&snapshot);
                     *decision_slot = Some(decision);
                     decision
                 } else if probe_sleepers {
                     let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
-                    probes.refresh(index, self.agents.protocol[index].as_ref()).decide(&snapshot)
+                    probes.refresh(index, &self.agents.program[index]).decide(&snapshot)
                 } else {
                     continue;
                 };
@@ -538,11 +559,11 @@ impl Simulation {
                     debug_assert!(act_pred);
                     let decision = self.scratch.predicted[index]
                         .expect("every live agent carries a prediction on prediction rounds");
-                    self.scratch.probes.swap(index, &mut self.agents.protocol[index]);
+                    self.scratch.probes.swap(index, &mut self.agents.program[index]);
                     decision
                 } else {
                     let snapshot = build_snapshot(&self.ring, &self.agents, index, round, fsync);
-                    self.agents.protocol[index].decide(&snapshot)
+                    self.agents.program[index].decide(&snapshot)
                 };
                 self.scratch.decisions[index] = Some(decision);
             }
@@ -585,7 +606,7 @@ impl Simulation {
             let terminated = &mut agents.terminated[..agent_count];
             let handedness = &agents.handedness[..agent_count];
             let prior = &mut agents.prior[..agent_count];
-            let protocol = &mut agents.protocol[..agent_count];
+            let program = &mut agents.program[..agent_count];
             let moves = &mut agents.moves[..agent_count];
             let terminated_at = &mut agents.terminated_at[..agent_count];
             let agent_visited = agents.visited.as_mut_slice();
@@ -667,7 +688,7 @@ impl Simulation {
                 }
                 // A protocol may flag termination without returning
                 // `Terminate` (defensive; none of the paper's algorithms do).
-                if poll_termination[index] && protocol[index].has_terminated() && !terminated[index] {
+                if poll_termination[index] && program[index].has_terminated() && !terminated[index] {
                     *alive -= 1;
                     terminated[index] = true;
                     terminated_at[index] = Some(round);
@@ -733,7 +754,7 @@ impl Simulation {
                     decision: self.scratch.decisions[index],
                     outcome: self.agents.prior[index],
                     terminated: self.agents.terminated[index],
-                    state_label: self.agents.protocol[index].state_label(),
+                    state_label: self.agents.program[index].state_label(),
                 })
                 .collect();
             if let Some(trace) = self.trace.as_mut() {

@@ -11,13 +11,18 @@
 //! Agent state is laid out as a **struct of arrays** (`AgentSoA`): the
 //! fields read by the per-round hot loops — the Look snapshot's occupancy
 //! pass and the scheduler's activation scans — are dense parallel vectors
-//! indexed by agent, while cold state (the boxed protocol, per-agent visit
+//! indexed by agent, while cold state (the agent program, per-agent visit
 //! maps, statistics) lives in separate arrays the hot passes never touch.
-//! Decision predictions reuse per-agent probe instances from a private probe
-//! pool (an in-place [`Protocol::clone_from_box`] state copy per round)
-//! instead of boxing a fresh clone, so the omniscient-adversary path is
-//! allocation-free in the steady state too.
+//! Each program is an [`AgentProgram`]: a statically dispatched
+//! [`CatalogProtocol`] for the paper's algorithms (zero virtual calls in a
+//! homogeneous team's Compute dispatch) or a `Box<dyn Protocol>` escape
+//! hatch for user-defined ones. Decision predictions reuse per-agent probe
+//! instances from a private probe pool (an in-place state copy per round —
+//! a variant-matching `clone_from` on the enum arm, never an `as_any`
+//! downcast) instead of boxing a fresh clone, so the omniscient-adversary
+//! path is allocation-free in the steady state too.
 
+use dynring_core::CatalogProtocol;
 use dynring_graph::{AgentId, EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
 use dynring_model::{
     Decision, LocalDirection, LocalPosition, NodeOccupancy, PriorOutcome, Protocol, Snapshot,
@@ -25,6 +30,125 @@ use dynring_model::{
 };
 use serde::{Deserialize, Serialize};
 use std::borrow::Cow;
+
+/// The executable program of one agent: the engine's two-representation
+/// dispatch story.
+///
+/// * [`AgentProgram::Catalog`] — the **enum fast path**: a
+///   [`CatalogProtocol`] whose `decide` resolves by a static `match` the
+///   compiler inlines, so a homogeneous catalogue team (the common case in
+///   every sweep and bench) runs Compute with **zero virtual calls**, and
+///   prediction probes refresh through a variant-matching
+///   [`Clone::clone_from`] instead of an `as_any` downcast.
+/// * [`AgentProgram::Boxed`] — the **extension escape hatch**: any
+///   user-defined `Box<dyn Protocol>`, dispatched virtually exactly as
+///   before the enum runtime existed.
+///
+/// Both representations coexist in one team (see
+/// [`SimulationBuilder::agent_program`](crate::sim::SimulationBuilder::agent_program))
+/// and are observably identical for catalogue algorithms
+/// (`tests/dispatch_equivalence.rs`). `docs/ARCHITECTURE.md` tells the full
+/// story.
+// The size asymmetry is deliberate: storing the catalogue state machine
+// inline (~260 bytes) keeps Compute reads out of the heap entirely, and the
+// per-agent cost is paid once per team, not per round.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+pub enum AgentProgram {
+    /// A catalogue protocol on the statically dispatched fast path.
+    Catalog(CatalogProtocol),
+    /// A type-erased protocol on the virtual-dispatch escape hatch.
+    Boxed(Box<dyn Protocol>),
+}
+
+impl From<CatalogProtocol> for AgentProgram {
+    fn from(protocol: CatalogProtocol) -> Self {
+        AgentProgram::Catalog(protocol)
+    }
+}
+
+impl From<Box<dyn Protocol>> for AgentProgram {
+    fn from(protocol: Box<dyn Protocol>) -> Self {
+        AgentProgram::Boxed(protocol)
+    }
+}
+
+impl AgentProgram {
+    /// One **Compute** step (see [`Protocol::decide`]). On the catalogue arm
+    /// this is a static match into the concrete state machine; only the
+    /// boxed arm pays a virtual call.
+    #[inline]
+    pub fn decide(&mut self, snapshot: &Snapshot) -> Decision {
+        match self {
+            AgentProgram::Catalog(p) => p.decide(snapshot),
+            AgentProgram::Boxed(p) => p.decide(snapshot),
+        }
+    }
+
+    /// The wrapped protocol's name (see [`Protocol::name`]).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            AgentProgram::Catalog(p) => p.name(),
+            AgentProgram::Boxed(p) => p.name(),
+        }
+    }
+
+    /// The wrapped protocol's termination discipline.
+    #[must_use]
+    pub fn termination_kind(&self) -> TerminationKind {
+        match self {
+            AgentProgram::Catalog(p) => p.termination_kind(),
+            AgentProgram::Boxed(p) => p.termination_kind(),
+        }
+    }
+
+    /// Whether the wrapped protocol has entered its terminal state.
+    #[must_use]
+    pub fn has_terminated(&self) -> bool {
+        match self {
+            AgentProgram::Catalog(p) => p.has_terminated(),
+            AgentProgram::Boxed(p) => p.has_terminated(),
+        }
+    }
+
+    /// The wrapped protocol's state label for traces.
+    #[must_use]
+    pub fn state_label(&self) -> String {
+        match self {
+            AgentProgram::Catalog(p) => p.state_label(),
+            AgentProgram::Boxed(p) => p.state_label(),
+        }
+    }
+
+    /// An owned copy of the program with its full internal state.
+    #[must_use]
+    pub fn clone_program(&self) -> AgentProgram {
+        match self {
+            AgentProgram::Catalog(p) => AgentProgram::Catalog(p.clone()),
+            AgentProgram::Boxed(p) => AgentProgram::Boxed(p.clone_box()),
+        }
+    }
+
+    /// Copies `src`'s state into `self` in place, returning whether the copy
+    /// happened. Catalogue programs copy through the enum's variant-matching
+    /// `clone_from` (no downcast, allocation-free for same-variant pairs);
+    /// boxed programs go through [`Protocol::clone_from_box`]. A
+    /// representation mismatch is refused, and the caller falls back to
+    /// [`AgentProgram::clone_program`].
+    pub fn clone_from_program(&mut self, src: &AgentProgram) -> bool {
+        match (self, src) {
+            (AgentProgram::Catalog(dst), AgentProgram::Catalog(src)) => {
+                dst.clone_from(src);
+                true
+            }
+            (AgentProgram::Boxed(dst), AgentProgram::Boxed(src)) => {
+                dst.clone_from_box(src.as_ref())
+            }
+            _ => false,
+        }
+    }
+}
 
 /// Converts a local direction into the global frame of an agent with the
 /// given orientation.
@@ -60,8 +184,9 @@ pub(crate) struct AgentSoA {
     pub handedness: Vec<Handedness>,
     /// Hot: the outcome each agent will be shown at its next Look.
     pub prior: Vec<PriorOutcome>,
-    /// Cold: the protocol instance (Compute state machine) of each agent.
-    pub protocol: Vec<Box<dyn Protocol>>,
+    /// Cold: the program (Compute state machine) of each agent — the
+    /// catalogue enum fast path or the boxed escape hatch.
+    pub program: Vec<AgentProgram>,
     /// Cold: successful traversals per agent.
     pub moves: Vec<u64>,
     /// Cold: activations per agent.
@@ -105,20 +230,15 @@ impl AgentSoA {
     }
 
     /// Appends an agent; its start node is marked visited in its private map.
-    pub(crate) fn push(
-        &mut self,
-        node: NodeId,
-        handedness: Handedness,
-        protocol: Box<dyn Protocol>,
-    ) {
+    pub(crate) fn push(&mut self, node: NodeId, handedness: Handedness, program: AgentProgram) {
         self.node.push(node);
         self.held_port.push(None);
         self.terminated.push(false);
         self.handedness.push(handedness);
         self.prior.push(PriorOutcome::Idle);
         self.poll_termination
-            .push(protocol.termination_kind() != TerminationKind::Unconscious);
-        self.protocol.push(protocol);
+            .push(program.termination_kind() != TerminationKind::Unconscious);
+        self.program.push(program);
         self.moves.push(0);
         self.activations.push(0);
         self.last_active_round.push(0);
@@ -180,28 +300,33 @@ impl AgentSoA {
 ///
 /// Predicting an agent's decision requires dry-running its (deterministic)
 /// protocol on the upcoming Look snapshot without touching the live instance.
-/// Instead of boxing a fresh [`Protocol::clone_box`] per agent per round, the
-/// pool refreshes a persistent probe through the in-place
-/// [`Protocol::clone_from_box`] state copy; only the first round per agent
-/// (or a protocol that does not support in-place copies) allocates.
+/// Instead of boxing a fresh clone per agent per round, the pool refreshes a
+/// persistent probe in place; only the first round per agent (or a boxed
+/// protocol that does not support in-place copies) allocates.
+///
+/// The slots hold [`AgentProgram`]s, so the pool follows the engine's
+/// two-representation dispatch story: a catalogue probe refreshes through
+/// the enum's variant-matching `clone_from` — **no `as_any` downcast on any
+/// prediction-fusion tier** — while a boxed probe goes through
+/// [`Protocol::clone_from_box`] exactly as before.
 #[derive(Debug, Default)]
 pub(crate) struct ProbePool {
-    slots: Vec<Option<Box<dyn Protocol>>>,
+    slots: Vec<Option<AgentProgram>>,
 }
 
 impl ProbePool {
     /// Returns the probe for agent `index`, its state refreshed from `src`.
-    pub(crate) fn refresh(&mut self, index: usize, src: &dyn Protocol) -> &mut Box<dyn Protocol> {
+    pub(crate) fn refresh(&mut self, index: usize, src: &AgentProgram) -> &mut AgentProgram {
         if self.slots.len() <= index {
             self.slots.resize_with(index + 1, || None);
         }
         let slot = &mut self.slots[index];
         let reused = match slot {
-            Some(probe) => probe.clone_from_box(src),
+            Some(probe) => probe.clone_from_program(src),
             None => false,
         };
         if !reused {
-            *slot = Some(src.clone_box());
+            *slot = Some(src.clone_program());
         }
         slot.as_mut().expect("slot was just filled")
     }
@@ -210,7 +335,7 @@ impl ProbePool {
     /// *prediction fusion*: after the dry run the probe holds exactly the
     /// post-Compute state of the live protocol, so swapping it in replaces a
     /// second Look + Compute).
-    pub(crate) fn swap(&mut self, index: usize, live: &mut Box<dyn Protocol>) {
+    pub(crate) fn swap(&mut self, index: usize, live: &mut AgentProgram) {
         let probe = self.slots[index].as_mut().expect("probe exists for predicted agents");
         std::mem::swap(probe, live);
     }
@@ -356,7 +481,7 @@ pub(crate) fn fill_agent_views(
                 continue;
             }
             let snapshot = build_snapshot(ring, agents, index, round, fsync);
-            let probe = probes.refresh(index, agents.protocol[index].as_ref());
+            let probe = probes.refresh(index, &agents.program[index]);
             *slot = Some(probe.decide(&snapshot));
         }
     }
@@ -409,7 +534,7 @@ pub(crate) fn fill_round_fsync(
             PredictedAction::Terminate
         } else if predict {
             let snapshot = build_snapshot(ring, agents, index, round, true);
-            let decision = agents.protocol[index].decide(&snapshot);
+            let decision = agents.program[index].decide(&snapshot);
             *predicted_slot = Some(decision);
             predict_action(ring, node, handedness, decision)
         } else {
@@ -567,7 +692,7 @@ mod tests {
     fn team(ring: &RingTopology, agents: &[(usize, Handedness)]) -> AgentSoA {
         let mut soa = AgentSoA::new(ring.size());
         for (node, handedness) in agents {
-            soa.push(NodeId::new(*node), *handedness, Box::new(GoLeft));
+            soa.push(NodeId::new(*node), *handedness, AgentProgram::Boxed(Box::new(GoLeft)));
         }
         soa
     }
@@ -693,7 +818,7 @@ mod tests {
         }
 
         let mut pool = ProbePool::default();
-        let live = Stepper { steps: 5 };
+        let live = AgentProgram::Boxed(Box::new(Stepper { steps: 5 }));
         let probe = pool.refresh(0, &live);
         assert!(probe.state_label().contains("steps: 5"));
         // Mutate the probe, then refresh again: the state is copied back in
@@ -702,15 +827,49 @@ mod tests {
         let probe = pool.refresh(0, &live);
         assert!(probe.state_label().contains("steps: 5"));
         // A different protocol type in the same slot falls back to clone_box.
-        let other = GoLeft;
+        let other = AgentProgram::Boxed(Box::new(GoLeft));
         let probe = pool.refresh(0, &other);
         assert_eq!(probe.name(), "go-left");
         // Swapping hands the probe to the caller and parks the old live box.
-        let mut live_box: Box<dyn Protocol> = Box::new(Stepper { steps: 9 });
+        let mut live_box = AgentProgram::Boxed(Box::new(Stepper { steps: 9 }));
         let probe = pool.refresh(1, &live);
         let _ = probe.decide(&build_dummy_snapshot());
         pool.swap(1, &mut live_box);
         assert!(live_box.state_label().contains("steps: 6"));
+    }
+
+    #[test]
+    fn probe_pool_refreshes_catalog_programs_without_downcasts() {
+        use dynring_core::Algorithm;
+
+        let mut pool = ProbePool::default();
+        let live = AgentProgram::Catalog(
+            Algorithm::KnownBound { upper_bound: 6 }.instantiate_enum(),
+        );
+        // First refresh fills the slot with an enum clone…
+        let probe = pool.refresh(0, &live);
+        assert_eq!(probe.state_label(), live.state_label());
+        // …and diverging the probe (two activations: the first only arms the
+        // Ttime counter) then refreshing copies the state back in place
+        // through the variant-matching clone_from.
+        let _ = probe.decide(&build_dummy_snapshot());
+        let _ = probe.decide(&build_dummy_snapshot());
+        assert_ne!(probe.state_label(), live.state_label());
+        let probe = pool.refresh(0, &live);
+        assert_eq!(probe.state_label(), live.state_label());
+        // A representation switch in the same slot falls back to a fresh
+        // program clone.
+        let boxed = AgentProgram::Boxed(Algorithm::Unconscious.instantiate());
+        let probe = pool.refresh(0, &boxed);
+        assert_eq!(probe.name(), "UnconsciousExploration");
+        // Swapping fuses the post-Compute probe into the live slot, exactly
+        // as on the boxed path.
+        let mut live_enum = AgentProgram::Catalog(Algorithm::EtUnconscious.instantiate_enum());
+        let probe = pool.refresh(1, &live_enum);
+        let _ = probe.decide(&build_dummy_snapshot());
+        let advanced = probe.state_label();
+        pool.swap(1, &mut live_enum);
+        assert_eq!(live_enum.state_label(), advanced);
     }
 
     fn build_dummy_snapshot() -> Snapshot {

@@ -42,6 +42,18 @@ impl fmt::Display for TerminationKind {
 ///   omniscient adversaries in the impossibility proofs do;
 /// * recorded executions can be replayed.
 ///
+/// # Dispatch
+///
+/// `Box<dyn Protocol>` is the open extension point: any user-defined type
+/// implementing this trait can join a simulation. A *closed* set of
+/// protocols can additionally be wrapped in an enum that implements
+/// `Protocol` by a static `match` over its variants, trading virtual calls
+/// for inlinable direct dispatch — `dynring_core::CatalogProtocol` does
+/// exactly this for the paper's nine-algorithm catalogue, and the engine
+/// runs both representations side by side (see `docs/ARCHITECTURE.md`,
+/// "The dispatch story"). Nothing in this trait is aware of the
+/// distinction; enum wrappers simply forward every method.
+///
 /// # Implementing
 ///
 /// ```
