@@ -13,7 +13,7 @@
 //! with one thread runs inline on the caller's thread (no spawn at all), which
 //! is the reference path the equivalence tests compare against.
 
-use crate::scenario::Scenario;
+use crate::scenario::{Scenario, ScenarioRunner};
 use dynring_engine::sim::RunReport;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -78,9 +78,26 @@ impl BatchRunner {
         T: Send,
         F: Fn(&I) -> T + Sync,
     {
+        self.run_map_with(inputs, || (), |(), input| work(input))
+    }
+
+    /// [`BatchRunner::run_map`] with **per-worker mutable state**: every
+    /// worker thread calls `state` once and threads the result through its
+    /// share of the inputs. This is what lets a battery hold one recycled
+    /// [`ScenarioRunner`] (and therefore one reusable `Simulation`) per
+    /// thread without any cross-thread sharing; results are still merged in
+    /// input order, so the output is identical whatever the thread count.
+    pub fn run_map_with<I, T, S, FS, F>(&self, inputs: &[I], state: FS, work: F) -> Vec<T>
+    where
+        I: Sync,
+        T: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(&mut S, &I) -> T + Sync,
+    {
         let workers = self.threads.min(inputs.len());
         if workers <= 1 {
-            return inputs.iter().map(work).collect();
+            let mut local = state();
+            return inputs.iter().map(|input| work(&mut local, input)).collect();
         }
         let next = AtomicUsize::new(0);
         let mut slots: Vec<Option<T>> = Vec::with_capacity(inputs.len());
@@ -89,11 +106,12 @@ impl BatchRunner {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
+                        let mut local = state();
                         let mut produced: Vec<(usize, T)> = Vec::new();
                         loop {
                             let index = next.fetch_add(1, Ordering::Relaxed);
                             let Some(input) = inputs.get(index) else { break };
-                            produced.push((index, work(input)));
+                            produced.push((index, work(&mut local, input)));
                         }
                         produced
                     })
@@ -113,10 +131,15 @@ impl BatchRunner {
             .collect()
     }
 
-    /// Runs every scenario and returns the reports in input order.
+    /// Runs every scenario and returns the reports in input order. Each
+    /// worker thread drives its share of the battery through one recycled
+    /// [`ScenarioRunner`], so consecutive cells reuse the simulation's
+    /// buffers instead of rebuilding them per run.
     #[must_use]
     pub fn run_reports(&self, scenarios: &[Scenario]) -> Vec<RunReport> {
-        self.run_map(scenarios, Scenario::run)
+        self.run_map_with(scenarios, ScenarioRunner::new, |runner, scenario| {
+            runner.run(scenario)
+        })
     }
 }
 

@@ -14,7 +14,7 @@
 
 use crate::batch::BatchRunner;
 use crate::report::RowResult;
-use crate::scenario::{AdversaryKind, Scenario, SchedulerKind};
+use crate::scenario::{AdversaryKind, Scenario, ScenarioRunner, SchedulerKind};
 use dynring_core::Algorithm;
 use dynring_engine::sim::{RunReport, StopCondition};
 use dynring_graph::{EdgeId, Handedness, RingTopology, ScheduleBuilder};
@@ -75,17 +75,24 @@ pub fn figure2_schedule(ring: &RingTopology) -> dynring_graph::EdgeSchedule {
 /// non-trivial).
 #[must_use]
 pub fn figure2(ring_size: usize) -> Figure2Outcome {
+    figure2_in(&mut ScenarioRunner::new(), ring_size)
+}
+
+/// [`figure2`] on an explicit recycled [`ScenarioRunner`] (how the batched
+/// figure battery and the lower-bound rows run it).
+#[must_use]
+pub fn figure2_in(worker: &mut ScenarioRunner, ring_size: usize) -> Figure2Outcome {
     assert!(ring_size >= 5, "Figure 2 needs n ≥ 5");
     let ring = RingTopology::new(ring_size).expect("valid ring");
     let schedule = figure2_schedule(&ring);
     let expected = 3 * ring_size as u64 - 6;
-    let report = Scenario::fsync(ring_size, Algorithm::KnownBound { upper_bound: ring_size })
+    let scenario = Scenario::fsync(ring_size, Algorithm::KnownBound { upper_bound: ring_size })
         .with_starts(vec![0, 1])
         .with_orientations(vec![Handedness::LeftIsCcw, Handedness::LeftIsCcw])
-        .with_adversary(AdversaryKind::Scripted(schedule))
+        .with_adversary(AdversaryKind::scripted(schedule))
         .with_stop(StopCondition::AllTerminated)
-        .with_max_rounds(6 * ring_size as u64)
-        .run();
+        .with_max_rounds(6 * ring_size as u64);
+    let report = worker.run(&scenario);
     Figure2Outcome { ring_size, explored_at: report.explored_at, expected, report }
 }
 
@@ -106,13 +113,17 @@ fn figures5_7_cases(ring_size: usize) -> [(&'static str, &'static str, Adversary
 /// [`all_figures_with`] can fan the cases across threads.
 #[must_use]
 pub fn figure5_7_case(ring_size: usize, which: usize) -> RowResult {
+    figure5_7_case_in(&mut ScenarioRunner::new(), ring_size, which)
+}
+
+fn figure5_7_case_in(worker: &mut ScenarioRunner, ring_size: usize, which: usize) -> RowResult {
     let (id, description, adversary) = figures5_7_cases(ring_size)[which].clone();
-    let report = Scenario::fsync(ring_size, Algorithm::LandmarkChirality)
+    let scenario = Scenario::fsync(ring_size, Algorithm::LandmarkChirality)
         .with_starts(vec![1, ring_size / 2 + 1])
         .with_adversary(adversary)
         .with_stop(StopCondition::AllTerminated)
-        .with_max_rounds(40 * ring_size as u64)
-        .run();
+        .with_max_rounds(40 * ring_size as u64);
+    let report = worker.run(&scenario);
     RowResult::new(
         id,
         "Lemma 2 / Theorem 6",
@@ -139,6 +150,10 @@ pub fn figures5_7(ring_size: usize) -> Vec<RowResult> {
 /// the same missing edge and terminate together back at the landmark.
 #[must_use]
 pub fn figure12(ring_size: usize) -> RowResult {
+    figure12_in(&mut ScenarioRunner::new(), ring_size)
+}
+
+fn figure12_in(worker: &mut ScenarioRunner, ring_size: usize) -> RowResult {
     assert!(ring_size >= 5 && ring_size % 2 == 1, "Figure 12 uses an odd ring size ≥ 5");
     let m = ring_size / 2;
     let ring = RingTopology::new(ring_size).expect("valid ring");
@@ -148,13 +163,13 @@ pub fn figure12(ring_size: usize) -> RowResult {
         .all_present_for(m as u64)
         .remove_for(EdgeId::new(m), 2)
         .build();
-    let report = Scenario::fsync(ring_size, Algorithm::StartFromLandmarkNoChirality)
+    let scenario = Scenario::fsync(ring_size, Algorithm::StartFromLandmarkNoChirality)
         .with_starts(vec![0, 0])
         .with_orientations(vec![Handedness::LeftIsCcw, Handedness::LeftIsCw])
-        .with_adversary(AdversaryKind::Scripted(schedule))
+        .with_adversary(AdversaryKind::scripted(schedule))
         .with_stop(StopCondition::AllTerminated)
-        .with_max_rounds(20 * ring_size as u64)
-        .run();
+        .with_max_rounds(20 * ring_size as u64);
+    let report = worker.run(&scenario);
     let simultaneous = matches!(
         report.termination_rounds.as_slice(),
         [Some(a), Some(b)] if a == b
@@ -178,16 +193,20 @@ pub fn figure12(ring_size: usize) -> RowResult {
 /// terminates, at the cost of extra traversals.
 #[must_use]
 pub fn figure15(ring_size: usize) -> RowResult {
+    figure15_in(&mut ScenarioRunner::new(), ring_size)
+}
+
+fn figure15_in(worker: &mut ScenarioRunner, ring_size: usize) -> RowResult {
     let report = {
         let mut scenario =
             Scenario::ssync(ring_size, Algorithm::PtBoundChirality { upper_bound: ring_size }, 23);
         scenario.synchrony = SynchronyModel::Ssync(TransportModel::PassiveTransport);
-        scenario
+        let scenario = scenario
             .with_adversary(AdversaryKind::BlockForever { edge: ring_size / 2 })
             .with_scheduler(SchedulerKind::SleepBlocked { hold: 2 })
             .with_stop(StopCondition::ExploredAndPartialTermination)
-            .with_max_rounds(300 * (ring_size as u64) * (ring_size as u64))
-            .run()
+            .with_max_rounds(300 * (ring_size as u64) * (ring_size as u64));
+        worker.run(&scenario)
     };
     RowResult::new(
         "F15",
@@ -210,18 +229,22 @@ pub fn figure15(ring_size: usize) -> RowResult {
 /// the lower-bound constructions.
 #[must_use]
 pub fn figure16(ring_size: usize) -> RowResult {
+    figure16_in(&mut ScenarioRunner::new(), ring_size)
+}
+
+fn figure16_in(worker: &mut ScenarioRunner, ring_size: usize) -> RowResult {
     let window_hi = ring_size / 2;
     let report = {
         let mut scenario =
             Scenario::ssync(ring_size, Algorithm::PtBoundChirality { upper_bound: ring_size }, 29);
         scenario.synchrony = SynchronyModel::Ssync(TransportModel::NoSimultaneity);
-        scenario
+        let scenario = scenario
             .with_starts(vec![1, 2])
             .with_adversary(AdversaryKind::Confine { lo: 0, hi: window_hi })
             .with_scheduler(SchedulerKind::RoundRobin)
             .with_stop(StopCondition::RoundBudget)
-            .with_max_rounds(60 * ring_size as u64)
-            .run()
+            .with_max_rounds(60 * ring_size as u64);
+        worker.run(&scenario)
     };
     RowResult::new(
         "F16",
@@ -250,13 +273,13 @@ enum FigureTask {
 }
 
 impl FigureTask {
-    fn run(&self) -> RowResult {
+    fn run(&self, worker: &mut ScenarioRunner) -> RowResult {
         match *self {
-            FigureTask::Fig2(n) => figure2(n).row(),
-            FigureTask::Fig5To7(n, which) => figure5_7_case(n, which),
-            FigureTask::Fig12(n) => figure12(n),
-            FigureTask::Fig15(n) => figure15(n),
-            FigureTask::Fig16(n) => figure16(n),
+            FigureTask::Fig2(n) => figure2_in(worker, n).row(),
+            FigureTask::Fig5To7(n, which) => figure5_7_case_in(worker, n, which),
+            FigureTask::Fig12(n) => figure12_in(worker, n),
+            FigureTask::Fig15(n) => figure15_in(worker, n),
+            FigureTask::Fig16(n) => figure16_in(worker, n),
         }
     }
 }
@@ -284,7 +307,7 @@ pub fn all_figures_with(runner: &BatchRunner, ring_size: usize) -> Vec<RowResult
         FigureTask::Fig15(ring_size),
         FigureTask::Fig16(ring_size),
     ];
-    runner.run_map(&tasks, FigureTask::run)
+    runner.run_map_with(&tasks, ScenarioRunner::new, |worker, task| task.run(worker))
 }
 
 #[cfg(test)]

@@ -44,4 +44,5 @@ pub mod tables;
 
 pub use batch::BatchRunner;
 pub use report::{markdown_table, RowResult};
-pub use scenario::{AdversaryKind, Scenario, SchedulerKind};
+pub use scenario::{AdversaryKind, Scenario, ScenarioRunner, SchedulerKind};
+pub use sweeps::PlacementDensity;

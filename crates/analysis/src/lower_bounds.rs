@@ -16,7 +16,7 @@
 use crate::batch::BatchRunner;
 use crate::figures::figure2;
 use crate::report::{RowResult, SweepPoint};
-use crate::sweeps::{self, within_bound};
+use crate::sweeps::{self, within_bound, PlacementDensity};
 use dynring_core::Algorithm;
 
 /// Theorem 4: exploration with partial termination by two agents knowing an
@@ -55,6 +55,18 @@ pub fn theorem13_15(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
 /// the sequential path whatever the thread count.
 #[must_use]
 pub fn theorem13_15_with(runner: &BatchRunner, sizes: &[usize], seeds: u64) -> Vec<RowResult> {
+    theorem13_15_battery(runner, sizes, seeds, PlacementDensity::Standard)
+}
+
+/// [`theorem13_15_with`] at an explicit [`PlacementDensity`] (the `--huge`
+/// battery runs `Dense`).
+#[must_use]
+pub fn theorem13_15_battery(
+    runner: &BatchRunner,
+    sizes: &[usize],
+    seeds: u64,
+    density: PlacementDensity,
+) -> Vec<RowResult> {
     let mut rows = Vec::new();
     type AlgorithmCtor = Box<dyn Fn(usize) -> Algorithm>;
     let configs: [(&str, &str, AlgorithmCtor); 2] = [
@@ -66,7 +78,7 @@ pub fn theorem13_15_with(runner: &BatchRunner, sizes: &[usize], seeds: u64) -> V
         ("LB-T15", "Theorem 15 (landmark)", Box::new(|_| Algorithm::PtLandmarkChirality)),
     ];
     for (id, claim, make) in configs {
-        let outcome = sweeps::sweep_ssync_with(runner, &*make, sizes, seeds);
+        let outcome = sweeps::sweep_ssync_battery(runner, &*make, sizes, seeds, density);
         let upper_ok =
             within_bound(&outcome.points, |p| p.worst_moves, |n| 12 * (n as u64) * (n as u64) + 8 * n as u64 + 64);
         let lower_pressure = outcome.points.iter().all(|p| p.worst_moves as usize >= p.ring_size - 1);

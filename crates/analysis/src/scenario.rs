@@ -16,10 +16,12 @@ use dynring_engine::scheduler::{
     ActivationPolicy, AlternateBlocked, EtFairness, FirstMoverOnly, FullActivation, RandomSubset,
     RoundRobinSingle,
 };
-use dynring_engine::sim::{RunReport, Simulation, StopCondition};
+use dynring_engine::sim::{AgentSpec, RunReport, RunSpec, Simulation, StopCondition};
+use dynring_engine::trace::Trace;
 use dynring_graph::{AgentId, EdgeId, EdgeSchedule, Handedness, NodeId, RingTopology};
 use dynring_model::SynchronyModel;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// The edge adversaries available to scenarios (a serialisable mirror of the
 /// engine's [`EdgePolicy`] implementations).
@@ -73,11 +75,20 @@ pub enum AdversaryKind {
         /// Edge removed in even rounds.
         second: usize,
     },
-    /// A scripted schedule (e.g. the Figure 2 worst case).
-    Scripted(EdgeSchedule),
+    /// A scripted schedule (e.g. the Figure 2 worst case), shared behind an
+    /// [`Arc`] so huge batteries replaying one schedule across thousands of
+    /// cells never deep-copy the removal list per build (construct via
+    /// [`AdversaryKind::scripted`]).
+    Scripted(Arc<EdgeSchedule>),
 }
 
 impl AdversaryKind {
+    /// Wraps a scripted schedule (owned or already shared).
+    #[must_use]
+    pub fn scripted(schedule: impl Into<Arc<EdgeSchedule>>) -> Self {
+        AdversaryKind::Scripted(schedule.into())
+    }
+
     fn instantiate(&self) -> Box<dyn EdgePolicy> {
         match self {
             AdversaryKind::Static => Box::new(NoRemoval),
@@ -97,7 +108,11 @@ impl AdversaryKind {
             AdversaryKind::Alternating { first, second } => {
                 Box::new(AlternatingBlock::new(EdgeId::new(*first), EdgeId::new(*second)))
             }
-            AdversaryKind::Scripted(schedule) => Box::new(FromSchedule::new(schedule.clone())),
+            AdversaryKind::Scripted(schedule) => {
+                // A clone of the Arc, not of the schedule: the removal list
+                // is shared by every cell of a battery.
+                Box::new(FromSchedule::new(Arc::clone(schedule)))
+            }
         }
     }
 
@@ -209,7 +224,7 @@ impl SchedulerKind {
 }
 
 /// A complete, runnable experiment description.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Ring size `n`.
     pub ring_size: usize,
@@ -347,6 +362,51 @@ impl Scenario {
         self
     }
 
+    fn ring(&self) -> RingTopology {
+        match self.landmark {
+            Some(l) => RingTopology::with_landmark(self.ring_size, NodeId::new(l))
+                .expect("valid landmark ring"),
+            None => RingTopology::new(self.ring_size).expect("valid ring"),
+        }
+    }
+
+    /// Compiles this scenario into the engine's reusable [`RunSpec`] (ring,
+    /// synchrony, agent templates, trace flag) — the description a
+    /// [`ScenarioRunner`] recycles one `Simulation` through. The policies are
+    /// not part of the spec; they are instantiated from
+    /// [`Scenario::scheduler`] / [`Scenario::adversary`] when installed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario is malformed (e.g. a start node outside the
+    /// ring), like [`Scenario::build`].
+    #[must_use]
+    pub fn compile(&self) -> RunSpec {
+        let agents = self
+            .starts
+            .iter()
+            .enumerate()
+            .map(|(i, start)| {
+                let handedness =
+                    self.orientations.get(i).copied().unwrap_or(Handedness::LeftIsCcw);
+                match self.dispatch {
+                    DispatchKind::Enum => AgentSpec::new(
+                        NodeId::new(*start),
+                        handedness,
+                        self.algorithm.instantiate_enum(),
+                    ),
+                    DispatchKind::Dyn => AgentSpec::new(
+                        NodeId::new(*start),
+                        handedness,
+                        self.algorithm.instantiate(),
+                    ),
+                }
+            })
+            .collect();
+        RunSpec::new(self.ring(), self.synchrony, agents, self.record_trace)
+            .expect("scenario must describe a valid simulation")
+    }
+
     /// Builds the simulation for this scenario.
     ///
     /// # Panics
@@ -356,11 +416,7 @@ impl Scenario {
     /// failure is preferable to error plumbing.
     #[must_use]
     pub fn build(&self) -> Simulation {
-        let ring = match self.landmark {
-            Some(l) => RingTopology::with_landmark(self.ring_size, NodeId::new(l))
-                .expect("valid landmark ring"),
-            None => RingTopology::new(self.ring_size).expect("valid ring"),
-        };
+        let ring = self.ring();
         let mut builder = Simulation::builder(ring)
             .synchrony(self.synchrony)
             .activation(self.scheduler.instantiate())
@@ -401,6 +457,85 @@ impl Scenario {
             self.scheduler.label(),
             self.adversary.label()
         )
+    }
+}
+
+/// A stateful scenario executor that **recycles one [`Simulation`]** across
+/// runs instead of rebuilding it per cell.
+///
+/// Every sweep cell used to pay a full `Scenario::run()` → `build()`:
+/// a fresh ring, agent SoA, scratch, probe pool and boxed policies per run.
+/// A `ScenarioRunner` holds one `Simulation` (plus the [`RunSpec`] and the
+/// [`Scenario`] it was compiled from) and re-initialises it in place:
+///
+/// * **same scenario again** (the benchmark regime): pure
+///   [`Simulation::recycle`] — zero steady-state allocations;
+/// * **different scenario** (consecutive battery cells): the spec is
+///   recompiled and fresh policies installed, but the simulation's buffers —
+///   the big per-`n` and per-agent allocations — are all reused;
+/// * **first scenario**: a fresh build, exactly like `Scenario::run()`.
+///
+/// The output is byte-identical to the fresh-build path for every scenario
+/// (`tests/recycle_equivalence.rs`); [`BatchRunner`](crate::batch::BatchRunner)
+/// gives each worker thread its own runner, so whole batteries ride this fast
+/// path without sharing state across threads.
+#[derive(Debug, Default)]
+pub struct ScenarioRunner {
+    sim: Option<Simulation>,
+    spec: Option<RunSpec>,
+    compiled_from: Option<Scenario>,
+}
+
+impl ScenarioRunner {
+    /// An empty runner (the first run builds its simulation).
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioRunner::default()
+    }
+
+    /// Runs the scenario on the recycled simulation, returning the report.
+    #[must_use]
+    pub fn run(&mut self, scenario: &Scenario) -> RunReport {
+        let (max_rounds, stop) = (scenario.max_rounds, scenario.stop);
+        self.prepare(scenario).run(max_rounds, stop)
+    }
+
+    /// [`ScenarioRunner::run`], but the summary is written into an existing
+    /// report in place ([`Simulation::run_into`]) — the fully
+    /// allocation-free rerun path used by the `sweep_throughput` benchmark.
+    pub fn run_into(&mut self, scenario: &Scenario, report: &mut RunReport) {
+        let (max_rounds, stop) = (scenario.max_rounds, scenario.stop);
+        self.prepare(scenario).run_into(max_rounds, stop, report);
+    }
+
+    /// The trace of the last run, if the scenario recorded one.
+    #[must_use]
+    pub fn trace(&self) -> Option<&Trace> {
+        self.sim.as_ref().and_then(Simulation::trace)
+    }
+
+    /// Readies the held simulation for a run of `scenario` at round zero.
+    fn prepare(&mut self, scenario: &Scenario) -> &mut Simulation {
+        if self.compiled_from.as_ref() == Some(scenario) {
+            // Identical cell: recycle through the cached spec; the installed
+            // policies are restored by their reset hooks. No allocation.
+            let sim = self.sim.as_mut().expect("compiled_from implies a live simulation");
+            sim.recycle(self.spec.as_ref().expect("compiled_from implies a cached spec"));
+            return sim;
+        }
+        let spec = scenario.compile();
+        let activation = scenario.scheduler.instantiate();
+        let edges = scenario.adversary.instantiate();
+        match self.sim.as_mut() {
+            Some(sim) => {
+                sim.replace_policies(activation, edges);
+                sim.recycle(&spec);
+            }
+            None => self.sim = Some(spec.instantiate(activation, edges)),
+        }
+        self.spec = Some(spec);
+        self.compiled_from = Some(scenario.clone());
+        self.sim.as_mut().expect("simulation was just installed")
     }
 }
 

@@ -8,12 +8,29 @@
 
 use crate::batch::BatchRunner;
 use crate::report::SweepPoint;
-use crate::scenario::{AdversaryKind, Scenario};
+use crate::scenario::{AdversaryKind, Scenario, ScenarioRunner};
 use dynring_core::fsync::LandmarkNoChirality;
 use dynring_core::Algorithm;
 use dynring_engine::sim::StopCondition;
 use dynring_graph::Handedness;
 use dynring_model::TerminationKind;
+
+/// How many start placements a battery exercises per (size, seed, adversary)
+/// cell.
+///
+/// [`PlacementDensity::Dense`] is the `--huge` battery regime of the
+/// *Revisited* follow-up (arXiv:2001.04525): on top of the standard
+/// adjacent/spread/co-located trio it rotates the adjacent and spread
+/// placements around the ring, so asymmetric interactions with the landmark
+/// and the blocked edges are exercised from several phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlacementDensity {
+    /// The standard trio: adjacent, spread, co-located.
+    #[default]
+    Standard,
+    /// The standard trio plus rotated variants (roughly 3× the placements).
+    Dense,
+}
 
 /// The adversaries every possibility claim is exercised against.
 #[must_use]
@@ -41,6 +58,36 @@ pub fn start_placements(ring_size: usize, agents: usize) -> Vec<Vec<usize>> {
     let spread: Vec<usize> = (0..agents).map(|i| (i * ring_size) / agents).collect();
     let colocated: Vec<usize> = vec![ring_size / 3; agents];
     vec![adjacent, spread, colocated]
+}
+
+/// [`start_placements`] at the requested density: `Dense` additionally
+/// rotates the adjacent and spread placements by 1, ⌈n/4⌉ and ⌈n/2⌉ nodes
+/// (duplicates dropped), producing the denser grid of the `--huge` battery.
+#[must_use]
+pub fn start_placements_with(
+    ring_size: usize,
+    agents: usize,
+    density: PlacementDensity,
+) -> Vec<Vec<usize>> {
+    let mut placements = start_placements(ring_size, agents);
+    if density == PlacementDensity::Dense {
+        let rotate = |placement: &[usize], shift: usize| -> Vec<usize> {
+            placement.iter().map(|s| (s + shift) % ring_size).collect()
+        };
+        let bases: Vec<Vec<usize>> = placements[..2].to_vec();
+        for shift in [1, ring_size.div_ceil(4), ring_size.div_ceil(2)] {
+            if shift == 0 || shift >= ring_size {
+                continue;
+            }
+            for base in &bases {
+                let rotated = rotate(base, shift);
+                if !placements.contains(&rotated) {
+                    placements.push(rotated);
+                }
+            }
+        }
+    }
+    placements
 }
 
 /// Orientation assignments exercised for a team: all agree, and (when the
@@ -141,6 +188,31 @@ pub fn sweep_ssync_with(
     sweep(runner, make_algorithm, sizes, seeds, true)
 }
 
+/// [`sweep_fsync_with`] at an explicit [`PlacementDensity`] (the `--huge`
+/// battery runs `Dense`).
+#[must_use]
+pub fn sweep_fsync_battery(
+    runner: &BatchRunner,
+    make_algorithm: impl Fn(usize) -> Algorithm,
+    sizes: &[usize],
+    seeds: u64,
+    density: PlacementDensity,
+) -> SweepOutcome {
+    sweep_battery(runner, make_algorithm, sizes, seeds, false, density)
+}
+
+/// [`sweep_ssync_with`] at an explicit [`PlacementDensity`].
+#[must_use]
+pub fn sweep_ssync_battery(
+    runner: &BatchRunner,
+    make_algorithm: impl Fn(usize) -> Algorithm,
+    sizes: &[usize],
+    seeds: u64,
+    density: PlacementDensity,
+) -> SweepOutcome {
+    sweep_battery(runner, make_algorithm, sizes, seeds, true, density)
+}
+
 /// Enumerates the whole battery up front (in the canonical deterministic
 /// order: sizes → seeds → adversaries → placements → orientations), fans the
 /// independent runs across the runner's threads, and folds the reports back
@@ -153,12 +225,23 @@ fn sweep(
     seeds: u64,
     ssync: bool,
 ) -> SweepOutcome {
+    sweep_battery(runner, make_algorithm, sizes, seeds, ssync, PlacementDensity::Standard)
+}
+
+fn sweep_battery(
+    runner: &BatchRunner,
+    make_algorithm: impl Fn(usize) -> Algorithm,
+    sizes: &[usize],
+    seeds: u64,
+    ssync: bool,
+    density: PlacementDensity,
+) -> SweepOutcome {
     let mut scenarios: Vec<(usize, Algorithm, Scenario)> = Vec::new();
     for (size_index, &n) in sizes.iter().enumerate() {
         let algorithm = make_algorithm(n);
         for seed in 0..seeds {
             for adversary in adversary_suite(n, seed * 97 + 13) {
-                for starts in start_placements(n, algorithm.required_agents()) {
+                for starts in start_placements_with(n, algorithm.required_agents(), density) {
                     for orientations in orientation_choices(&algorithm, algorithm.required_agents())
                     {
                         let base = if ssync {
@@ -186,7 +269,12 @@ fn sweep(
         }
     }
 
-    let reports = runner.run_map(&scenarios, |(_, _, scenario)| scenario.run());
+    // Each worker thread drives its share of the battery through one
+    // recycled simulation (see `ScenarioRunner`): consecutive cells reuse
+    // the SoA/scratch/visited buffers instead of rebuilding them per run.
+    let reports = runner.run_map_with(&scenarios, ScenarioRunner::new, |worker, (_, _, scenario)| {
+        worker.run(scenario)
+    });
 
     let mut points: Vec<SweepPoint> = sizes
         .iter()

@@ -10,7 +10,7 @@
 use crate::batch::BatchRunner;
 use crate::report::RowResult;
 use crate::scenario::{AdversaryKind, Scenario, SchedulerKind};
-use crate::sweeps::{self, within_bound};
+use crate::sweeps::{self, within_bound, PlacementDensity};
 use dynring_core::fsync::LandmarkNoChirality;
 use dynring_core::Algorithm;
 use dynring_engine::sim::StopCondition;
@@ -99,10 +99,25 @@ pub fn table1_with(runner: &BatchRunner, ring_size: usize) -> Vec<RowResult> {
 /// Table 2 — possibility results for FSYNC.
 #[must_use]
 pub fn table2(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
+    table2_battery(&BatchRunner::from_env(), sizes, seeds, PlacementDensity::Standard)
+}
+
+/// [`table2`] on an explicit runner at an explicit [`PlacementDensity`]
+/// (the `--huge` battery runs `Dense`).
+#[must_use]
+pub fn table2_battery(
+    runner: &BatchRunner,
+    sizes: &[usize],
+    seeds: u64,
+    density: PlacementDensity,
+) -> Vec<RowResult> {
+    let sweep = |make: &dyn Fn(usize) -> Algorithm| {
+        sweeps::sweep_fsync_battery(runner, make, sizes, seeds, density)
+    };
     let mut rows = Vec::new();
 
     // Theorem 3: KnownNNoChirality terminates explicitly by round 3N − 6.
-    let outcome = sweeps::sweep_fsync(|n| Algorithm::KnownBound { upper_bound: n }, sizes, seeds);
+    let outcome = sweep(&|n| Algorithm::KnownBound { upper_bound: n });
     let holds = outcome.all_explored
         && outcome.all_terminated_as_promised
         && within_bound(&outcome.points, |p| p.worst_termination, |n| 3 * n as u64 - 6 + 1);
@@ -122,7 +137,7 @@ pub fn table2(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
     ));
 
     // Theorem 6: LandmarkWithChirality terminates in O(n).
-    let outcome = sweeps::sweep_fsync(|_| Algorithm::LandmarkChirality, sizes, seeds);
+    let outcome = sweep(&|_| Algorithm::LandmarkChirality);
     let holds = outcome.all_explored
         && outcome.all_terminated_as_promised
         && within_bound(&outcome.points, |p| p.worst_termination, |n| 30 * n as u64 + 30);
@@ -141,7 +156,7 @@ pub fn table2(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
     ));
 
     // Theorem 8: LandmarkNoChirality terminates in O(n log n).
-    let outcome = sweeps::sweep_fsync(|_| Algorithm::LandmarkNoChirality, sizes, seeds);
+    let outcome = sweep(&|_| Algorithm::LandmarkNoChirality);
     let bound = |n: usize| 2 * LandmarkNoChirality::termination_bound(n as u64) + 64 * n as u64;
     let holds = outcome.all_explored
         && outcome.all_terminated_as_promised
@@ -307,6 +322,21 @@ pub fn table3_with(runner: &BatchRunner, ring_size: usize) -> Vec<RowResult> {
 /// Table 4 — possibility results for the SSYNC models.
 #[must_use]
 pub fn table4(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
+    table4_battery(&BatchRunner::from_env(), sizes, seeds, PlacementDensity::Standard)
+}
+
+/// [`table4`] on an explicit runner at an explicit [`PlacementDensity`]
+/// (the `--huge` battery runs `Dense`).
+#[must_use]
+pub fn table4_battery(
+    runner: &BatchRunner,
+    sizes: &[usize],
+    seeds: u64,
+    density: PlacementDensity,
+) -> Vec<RowResult> {
+    let sweep = move |make: &dyn Fn(usize) -> Algorithm| {
+        sweeps::sweep_ssync_battery(runner, make, sizes, seeds, density)
+    };
     let mut rows = Vec::new();
     let quad = |c: u64| move |n: usize| c * (n as u64) * (n as u64) + 8 * n as u64 + 64;
 
@@ -316,7 +346,7 @@ pub fn table4(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
                                paper: &str,
                                make: &dyn Fn(usize) -> Algorithm,
                                bound: &dyn Fn(usize) -> u64| {
-        let outcome = sweeps::sweep_ssync(make, sizes, seeds);
+        let outcome = sweep(make);
         let holds = outcome.all_explored
             && outcome.all_terminated_as_promised
             && within_bound(&outcome.points, |p| p.worst_moves, bound);
@@ -372,8 +402,7 @@ pub fn table4(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
     // termination is "finite but possibly unbounded"), so only exploration
     // and partial termination are checked.
     {
-        let outcome =
-            sweeps::sweep_ssync(|n| Algorithm::EtBoundNoChirality { ring_size: n }, sizes, seeds);
+        let outcome = sweep(&|n| Algorithm::EtBoundNoChirality { ring_size: n });
         let runs = outcome.points.iter().map(|p| p.runs).sum();
         rows.push(RowResult::new(
             "T4-R6",
@@ -391,7 +420,7 @@ pub fn table4(sizes: &[usize], seeds: u64) -> Vec<RowResult> {
 
     // Theorem 18: ET unconscious exploration — exploration only, no
     // termination required.
-    let outcome = sweeps::sweep_ssync(|_| Algorithm::EtUnconscious, sizes, seeds);
+    let outcome = sweep(&|_| Algorithm::EtUnconscious);
     let runs = outcome.points.iter().map(|p| p.runs).sum();
     rows.push(RowResult::new(
         "T4-R5",

@@ -12,8 +12,9 @@
 //! ```
 
 use dynring_bench::throughput::{
-    dispatch_comparisons, fast_mode, measure, out_path, parse_baseline, regressions,
-    standard_cases, write_json, ThroughputSample,
+    case_json_line, case_rates, dispatch_comparisons, extract_section, fast_mode, hard_gate,
+    measure, out_path, parse_baseline, regressions, standard_cases, write_document,
+    ThroughputSample,
 };
 use std::time::Duration;
 
@@ -57,20 +58,32 @@ fn main() {
     }
 
     let path = out_path();
-    // Diff against the previous committed baseline before overwriting it.
-    let previous = std::fs::read_to_string(&path).map(|s| parse_baseline(&s)).unwrap_or_default();
-    write_json(&path, &samples).expect("write BENCH_engine.json");
+    // Diff against the previous committed baseline before overwriting it,
+    // and carry its runs/sec section (owned by `sweep_throughput`) over
+    // verbatim — each bench target only refreshes its own rows.
+    let previous_document = std::fs::read_to_string(&path).unwrap_or_default();
+    let previous = parse_baseline(&previous_document);
+    let sweep_lines = extract_section(&previous_document, "sweep_cases");
+    let case_lines: Vec<String> = samples.iter().map(case_json_line).collect();
+    write_document(&path, &case_lines, &sweep_lines).expect("write BENCH_engine.json");
     println!("\nbaseline written to {}", path.display());
 
     if previous.is_empty() {
         println!("no previous baseline to diff against");
     } else {
-        let drops = regressions(&samples, &previous, 0.10);
+        let drops = regressions(&case_rates(&samples), &previous, 0.10, "rounds/sec");
         if drops.is_empty() {
             println!("no regressions >= 10% against the previous baseline");
         } else {
             for line in &drops {
                 println!("{line}");
+            }
+            if hard_gate() {
+                eprintln!(
+                    "DYNRING_BENCH_GATE=hard: failing on {} regression(s) >= 10%",
+                    drops.len()
+                );
+                std::process::exit(1);
             }
         }
     }

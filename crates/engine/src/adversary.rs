@@ -20,6 +20,7 @@ use crate::world::{PredictedAction, RoundView};
 use dynring_graph::{AgentId, EdgeId, EdgeSchedule, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// Chooses the missing edge of the next round.
 ///
@@ -59,6 +60,14 @@ pub trait EdgePolicy: Send {
     fn needs_sleeper_predictions(&self) -> bool {
         true
     }
+
+    /// Restores the policy to its as-constructed state, so a recycled
+    /// simulation (see [`Simulation::recycle`](crate::sim::Simulation::recycle))
+    /// replays exactly as a freshly built one. Stateful policies (episode
+    /// counters, seeded RNGs) **must** implement this — a seeded policy
+    /// restores the RNG from its original seed; the default no-op is only
+    /// correct for stateless policies.
+    fn reset(&mut self) {}
 }
 
 /// Never removes an edge (static ring).
@@ -81,16 +90,21 @@ impl EdgePolicy for NoRemoval {
 
 /// Replays a fixed [`EdgeSchedule`] (e.g. the hand-crafted worst cases of the
 /// paper's figures).
+///
+/// The schedule is held behind an [`Arc`], so a battery that replays the same
+/// scripted schedule in thousands of cells shares one allocation instead of
+/// deep-copying the removal list per build (accepting a plain
+/// [`EdgeSchedule`] by value still works through the `Into` bound).
 #[derive(Debug, Clone)]
 pub struct FromSchedule {
-    schedule: EdgeSchedule,
+    schedule: Arc<EdgeSchedule>,
 }
 
 impl FromSchedule {
-    /// Wraps a fixed schedule.
+    /// Wraps a fixed schedule (owned or already shared).
     #[must_use]
-    pub fn new(schedule: EdgeSchedule) -> Self {
-        FromSchedule { schedule }
+    pub fn new(schedule: impl Into<Arc<EdgeSchedule>>) -> Self {
+        FromSchedule { schedule: schedule.into() }
     }
 }
 
@@ -140,6 +154,7 @@ impl EdgePolicy for BlockEdgeForever {
 #[derive(Debug, Clone)]
 pub struct RandomEdge {
     probability: f64,
+    seed: u64,
     rng: StdRng,
 }
 
@@ -148,7 +163,11 @@ impl RandomEdge {
     /// and RNG seed.
     #[must_use]
     pub fn new(probability: f64, seed: u64) -> Self {
-        RandomEdge { probability: probability.clamp(0.0, 1.0), rng: StdRng::seed_from_u64(seed) }
+        RandomEdge {
+            probability: probability.clamp(0.0, 1.0),
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -168,6 +187,10 @@ impl EdgePolicy for RandomEdge {
     fn needs_predictions(&self) -> bool {
         false
     }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+    }
 }
 
 /// Removes a random edge and keeps it removed for a random number of rounds
@@ -181,6 +204,7 @@ pub struct StickyRandomEdge {
     present_probability: f64,
     current: Option<EdgeId>,
     remaining: u64,
+    seed: u64,
     rng: StdRng,
 }
 
@@ -196,6 +220,7 @@ impl StickyRandomEdge {
             present_probability: present_probability.clamp(0.0, 1.0),
             current: None,
             remaining: 0,
+            seed,
             rng: StdRng::seed_from_u64(seed),
         }
     }
@@ -221,6 +246,12 @@ impl EdgePolicy for StickyRandomEdge {
 
     fn needs_predictions(&self) -> bool {
         false
+    }
+
+    fn reset(&mut self) {
+        self.current = None;
+        self.remaining = 0;
+        self.rng = StdRng::seed_from_u64(self.seed);
     }
 }
 

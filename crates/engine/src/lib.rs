@@ -63,6 +63,6 @@ pub mod world;
 pub use adversary::EdgePolicy;
 pub use error::EngineError;
 pub use scheduler::ActivationPolicy;
-pub use sim::{RunReport, Simulation, SimulationBuilder, StopCondition};
+pub use sim::{AgentSpec, RunReport, RunSpec, Simulation, SimulationBuilder, StopCondition};
 pub use trace::{RoundRecord, Trace};
 pub use world::{AgentProgram, AgentView, PredictedAction, RoundView};

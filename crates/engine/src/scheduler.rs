@@ -54,6 +54,14 @@ pub trait ActivationPolicy: Send {
     fn needs_predictions(&self) -> bool {
         true
     }
+
+    /// Restores the policy to its as-constructed state, so a recycled
+    /// simulation (see [`Simulation::recycle`](crate::sim::Simulation::recycle))
+    /// replays exactly as a freshly built one. Stateful policies (rotation
+    /// cursors, seeded RNGs) **must** implement this — a seeded policy
+    /// restores the RNG from its original seed; the default no-op is only
+    /// correct for stateless policies.
+    fn reset(&mut self) {}
 }
 
 /// FSYNC: everyone is active in every round.
@@ -117,6 +125,10 @@ impl ActivationPolicy for RoundRobinSingle {
     fn needs_predictions(&self) -> bool {
         false
     }
+
+    fn reset(&mut self) {
+        self.cursor = 0;
+    }
 }
 
 /// Activates each agent independently with probability `p`; re-draws until
@@ -124,6 +136,7 @@ impl ActivationPolicy for RoundRobinSingle {
 #[derive(Debug, Clone)]
 pub struct RandomSubset {
     probability: f64,
+    seed: u64,
     rng: StdRng,
 }
 
@@ -132,7 +145,11 @@ impl RandomSubset {
     /// (clamped to `[0.05, 1.0]`) and RNG seed.
     #[must_use]
     pub fn new(probability: f64, seed: u64) -> Self {
-        RandomSubset { probability: probability.clamp(0.05, 1.0), rng: StdRng::seed_from_u64(seed) }
+        RandomSubset {
+            probability: probability.clamp(0.05, 1.0),
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 
@@ -171,6 +188,10 @@ impl ActivationPolicy for RandomSubset {
 
     fn needs_predictions(&self) -> bool {
         false
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
     }
 }
 
@@ -307,6 +328,10 @@ impl ActivationPolicy for EtFairness {
 
     fn needs_predictions(&self) -> bool {
         self.inner.needs_predictions()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
     }
 }
 

@@ -30,18 +30,23 @@ pub enum StopCondition {
 }
 
 /// Why a run ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum StopReason {
     /// The stop condition was met.
     ConditionMet,
     /// The round budget was exhausted.
+    #[default]
     BudgetExhausted,
     /// Every agent terminated (nothing left to simulate).
     Deadlocked,
 }
 
 /// Summary of a finished run.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The `Default` value is an empty shell for
+/// [`Simulation::run_into`], which refills an existing report in place
+/// (reusing the per-agent vectors) instead of allocating a fresh one per run.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct RunReport {
     /// Number of rounds simulated.
     pub rounds: u64,
@@ -216,6 +221,131 @@ impl SimulationBuilder {
     }
 }
 
+/// One agent of a [`RunSpec`]: the start node, the private orientation and
+/// the **pristine program template** every (re)run copies its initial state
+/// from.
+#[derive(Debug)]
+pub struct AgentSpec {
+    /// Start node.
+    pub start: NodeId,
+    /// Private orientation.
+    pub handedness: Handedness,
+    /// The program in its as-instantiated state. Fresh builds clone it;
+    /// recycled runs copy its state into the live program in place (see
+    /// [`Simulation::recycle`]).
+    pub program: AgentProgram,
+}
+
+impl AgentSpec {
+    /// Bundles one agent's start, orientation and program template.
+    #[must_use]
+    pub fn new(start: NodeId, handedness: Handedness, program: impl Into<AgentProgram>) -> Self {
+        AgentSpec { start, handedness, program: program.into() }
+    }
+}
+
+/// A validated, reusable description of one run: ring topology, synchrony
+/// model, the agent templates and whether a trace is recorded.
+///
+/// This is the engine half of the **run-recycling** fast path (see
+/// `docs/ARCHITECTURE.md`, "Run lifecycle"): where [`SimulationBuilder`]
+/// builds one `Simulation` and is consumed, a `RunSpec` is compiled once and
+/// then drives any number of runs —
+///
+/// * [`RunSpec::instantiate`] builds a fresh simulation (observably identical
+///   to the builder path);
+/// * [`Simulation::recycle`] re-initialises an *existing* simulation to round
+///   zero of the spec **in place**, reusing every buffer the previous run
+///   allocated.
+///
+/// The activation and edge policies are deliberately not part of the spec:
+/// they are installed on the simulation (at `instantiate` time or via
+/// [`Simulation::replace_policies`]) and restored by their
+/// [`reset`](crate::scheduler::ActivationPolicy::reset) hooks on recycle, so
+/// the spec itself stays immutable and shareable.
+#[derive(Debug)]
+pub struct RunSpec {
+    ring: RingTopology,
+    synchrony: SynchronyModel,
+    agents: Vec<AgentSpec>,
+    record_trace: bool,
+}
+
+impl RunSpec {
+    /// Compiles a validated spec.
+    ///
+    /// # Errors
+    ///
+    /// Fails like [`SimulationBuilder::build`]: no agents, or an agent
+    /// starting outside the ring.
+    pub fn new(
+        ring: RingTopology,
+        synchrony: SynchronyModel,
+        agents: Vec<AgentSpec>,
+        record_trace: bool,
+    ) -> Result<Self, EngineError> {
+        if agents.is_empty() {
+            return Err(EngineError::NoAgents);
+        }
+        for (index, agent) in agents.iter().enumerate() {
+            if agent.start.index() >= ring.size() {
+                return Err(EngineError::StartOutOfRange {
+                    agent: AgentId::new(index),
+                    node: agent.start,
+                    ring_size: ring.size(),
+                });
+            }
+        }
+        Ok(RunSpec { ring, synchrony, agents, record_trace })
+    }
+
+    /// The ring the runs explore.
+    #[must_use]
+    pub fn ring(&self) -> &RingTopology {
+        &self.ring
+    }
+
+    /// The synchrony model of the runs.
+    #[must_use]
+    pub fn synchrony(&self) -> SynchronyModel {
+        self.synchrony
+    }
+
+    /// Number of agents per run.
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Whether runs record a trace.
+    #[must_use]
+    pub fn record_trace(&self) -> bool {
+        self.record_trace
+    }
+
+    /// Builds a fresh simulation from this spec with the given policies
+    /// (observably identical to assembling the same run through
+    /// [`Simulation::builder`]; the agent templates are cloned, the spec
+    /// stays reusable).
+    #[must_use]
+    pub fn instantiate(
+        &self,
+        activation: Box<dyn ActivationPolicy>,
+        edges: Box<dyn EdgePolicy>,
+    ) -> Simulation {
+        let mut builder = Simulation::builder(self.ring.clone())
+            .synchrony(self.synchrony)
+            .activation(activation)
+            .edges(edges)
+            .record_trace(self.record_trace);
+        for agent in &self.agents {
+            builder =
+                builder.agent_program(agent.start, agent.handedness, agent.program.clone_program());
+        }
+        builder.build().expect("RunSpec was validated at construction")
+    }
+}
+
 /// Reusable per-round working memory. All buffers are cleared and refilled
 /// every round, so after the first round [`Simulation::step`] performs no
 /// heap allocation on the FSYNC hot path — with trace recording off this now
@@ -367,6 +497,73 @@ impl Simulation {
     #[must_use]
     pub fn moves_per_agent(&self) -> Vec<u64> {
         self.agents.moves.clone()
+    }
+
+    /// Re-initialises this simulation **in place** to round zero of `spec`,
+    /// reusing every buffer of the previous run:
+    ///
+    /// * ring topology, synchrony model and the global visited map are
+    ///   overwritten (the map's allocation is reused);
+    /// * the whole agent team is reset from the spec's templates — hot and
+    ///   cold SoA fields, per-agent visit maps and the occupancy index are
+    ///   refilled in their existing vectors, and each program copies the
+    ///   template's pristine state through the enum's variant-matching
+    ///   `clone_from` (boxed programs through `clone_from_box`);
+    /// * the trace is cleared (or created/dropped if `spec` toggles
+    ///   recording) and the round scratch, including the probe pool, carries
+    ///   over as-is — every scratch buffer is refilled before use;
+    /// * the installed activation and edge policies are restored by their
+    ///   [`reset`](crate::scheduler::ActivationPolicy::reset) hooks. If the
+    ///   next run needs *different* policies, install them first with
+    ///   [`Simulation::replace_policies`].
+    ///
+    /// When the shape (ring size, team size, program representations) matches
+    /// the previous run this performs **zero heap allocations**; when it does
+    /// not, existing capacity is still reused and only growth allocates. A
+    /// recycled run is observably identical to one built fresh from the same
+    /// spec (`tests/recycle_equivalence.rs` pins this for the whole
+    /// catalogue).
+    pub fn recycle(&mut self, spec: &RunSpec) {
+        self.ring.clone_from(&spec.ring);
+        self.synchrony = spec.synchrony;
+        self.agents.reset_from(
+            spec.ring.size(),
+            spec.agents.iter().map(|a| (a.start, a.handedness, &a.program)),
+        );
+        self.visited.clear();
+        self.visited.resize(spec.ring.size(), false);
+        let mut start_nodes = 0;
+        for agent in &spec.agents {
+            let slot = &mut self.visited[agent.start.index()];
+            if !*slot {
+                *slot = true;
+                start_nodes += 1;
+            }
+        }
+        self.unvisited = spec.ring.size() - start_nodes;
+        self.alive = spec.agents.len();
+        self.round = 0;
+        self.explored_at = None;
+        match (&mut self.trace, spec.record_trace) {
+            (Some(trace), true) => trace.clear(),
+            (trace @ None, true) => *trace = Some(Trace::new()),
+            (trace, false) => *trace = None,
+        }
+        self.activation.reset();
+        self.edges.reset();
+    }
+
+    /// Replaces the installed activation and edge policies (used by recycling
+    /// callers when the next run's policies differ from the previous run's;
+    /// same-policy reruns only need the `reset` performed by
+    /// [`Simulation::recycle`]).
+    pub fn replace_policies(
+        &mut self,
+        activation: Box<dyn ActivationPolicy>,
+        edges: Box<dyn EdgePolicy>,
+    ) {
+        self.activation = activation;
+        self.edges = edges;
     }
 
     /// Plays one round. Returns `false` if there was nothing to do (every
@@ -773,17 +970,30 @@ impl Simulation {
     /// Runs until the stop condition holds or `max_rounds` rounds have been
     /// simulated, and summarises the execution.
     pub fn run(&mut self, max_rounds: u64, stop: StopCondition) -> RunReport {
+        let reason = self.run_rounds(max_rounds, stop);
+        self.report(reason)
+    }
+
+    /// [`Simulation::run`], but the summary is written into an existing
+    /// report whose per-agent vectors are reused (allocation-free once the
+    /// report has seen a team of this size) — the companion of
+    /// [`Simulation::recycle`] on the runs/sec fast path.
+    pub fn run_into(&mut self, max_rounds: u64, stop: StopCondition, report: &mut RunReport) {
+        let reason = self.run_rounds(max_rounds, stop);
+        self.report_into(reason, report);
+    }
+
+    fn run_rounds(&mut self, max_rounds: u64, stop: StopCondition) -> StopReason {
         let mut reason = StopReason::BudgetExhausted;
         if stop == StopCondition::RoundBudget {
             // The budget-only loop (throughput measurement) skips the
             // per-round stop-condition dispatch.
             for _ in 0..max_rounds {
                 if !self.step() {
-                    reason = StopReason::Deadlocked;
-                    break;
+                    return StopReason::Deadlocked;
                 }
             }
-            return self.report(reason);
+            return reason;
         }
         for _ in 0..max_rounds {
             if self.stop_condition_met(stop) {
@@ -798,7 +1008,7 @@ impl Simulation {
         if reason == StopReason::BudgetExhausted && self.stop_condition_met(stop) {
             reason = StopReason::ConditionMet;
         }
-        self.report(reason)
+        reason
     }
 
     fn stop_condition_met(&self, stop: StopCondition) -> bool {
@@ -815,45 +1025,46 @@ impl Simulation {
     /// Builds the report for the current state of the simulation.
     #[must_use]
     pub fn report(&self, stop_reason: StopReason) -> RunReport {
-        RunReport {
-            rounds: self.round,
-            ring_size: self.ring.size(),
-            explored_at: self.explored_at,
-            visited_count: self.visited_count(),
-            termination_rounds: self.termination_rounds(),
-            all_terminated: self.all_terminated(),
-            moves_per_agent: self.moves_per_agent(),
-            visited_per_agent: (0..self.agents.len())
-                .map(|index| self.agents.visited_count(index))
-                .collect(),
-            total_moves: self.agents.moves.iter().sum(),
-            stop_reason,
-        }
+        let mut report = RunReport::default();
+        self.report_into(stop_reason, &mut report);
+        report
     }
 
-    /// Immutable view of the upcoming round for external inspection (used by
-    /// the renderer and by tests). Unlike the round loop's borrowed view,
-    /// this one owns its agent views and always includes decision
-    /// predictions.
+    /// [`Simulation::report`], written into an existing report in place. The
+    /// per-agent vectors reuse their capacity, so summarising a recycled run
+    /// into a recycled report allocates nothing.
+    pub fn report_into(&self, stop_reason: StopReason, out: &mut RunReport) {
+        out.rounds = self.round;
+        out.ring_size = self.ring.size();
+        out.explored_at = self.explored_at;
+        out.visited_count = self.visited_count();
+        out.termination_rounds.clone_from(&self.agents.terminated_at);
+        out.all_terminated = self.all_terminated();
+        out.moves_per_agent.clone_from(&self.agents.moves);
+        out.visited_per_agent.clear();
+        out.visited_per_agent
+            .extend((0..self.agents.len()).map(|index| self.agents.visited_count(index)));
+        out.total_moves = self.agents.moves.iter().sum();
+        out.stop_reason = stop_reason;
+    }
+
+    /// View of the upcoming round for external inspection (used by the
+    /// renderer and by tests). The view always includes decision predictions
+    /// and borrows the simulation's round scratch (which is why this takes
+    /// `&mut self` — the next `step` refills every scratch buffer before
+    /// reading it, so peeking never perturbs the run).
     #[must_use]
-    pub fn peek(&self) -> RoundView<'_> {
-        let mut views = Vec::with_capacity(self.agents.len());
-        let mut predicted = Vec::new();
-        let mut probes = ProbePool::default();
-        fill_agent_views(
-            &mut views,
-            &mut predicted,
-            &mut probes,
-            &self.ring,
-            &self.agents,
-            self.round + 1,
-            self.synchrony.is_fsync(),
-            true,
-        );
+    pub fn peek(&mut self) -> RoundView<'_> {
+        let round = self.round + 1;
+        let fsync = self.synchrony.is_fsync();
+        {
+            let RoundScratch { views, predicted, probes, .. } = &mut self.scratch;
+            fill_agent_views(views, predicted, probes, &self.ring, &self.agents, round, fsync, true);
+        }
         RoundView {
-            round: self.round + 1,
+            round,
             ring: &self.ring,
-            agents: Cow::Owned(views),
+            agents: Cow::Borrowed(&self.scratch.views),
             visited: &self.visited,
         }
     }
@@ -1045,9 +1256,120 @@ mod tests {
     }
 
     #[test]
+    fn run_spec_validates_like_the_builder() {
+        let ring = RingTopology::new(4).unwrap();
+        let err = RunSpec::new(ring.clone(), SynchronyModel::Fsync, vec![], false).unwrap_err();
+        assert_eq!(err, EngineError::NoAgents);
+        let err = RunSpec::new(
+            ring,
+            SynchronyModel::Fsync,
+            vec![AgentSpec::new(
+                NodeId::new(9),
+                Handedness::LeftIsCcw,
+                Box::new(LoneWalker::new(0)) as Box<dyn Protocol>,
+            )],
+            false,
+        )
+        .unwrap_err();
+        assert!(matches!(err, EngineError::StartOutOfRange { .. }));
+    }
+
+    #[test]
+    fn recycled_runs_replay_the_fresh_execution_bit_for_bit() {
+        let n = 8;
+        let spec = RunSpec::new(
+            RingTopology::new(n).unwrap(),
+            SynchronyModel::Fsync,
+            vec![
+                AgentSpec::new(
+                    NodeId::new(0),
+                    Handedness::LeftIsCcw,
+                    Box::new(KnownBound::new(n)) as Box<dyn Protocol>,
+                ),
+                AgentSpec::new(
+                    NodeId::new(3),
+                    Handedness::LeftIsCcw,
+                    Box::new(KnownBound::new(n)) as Box<dyn Protocol>,
+                ),
+            ],
+            true,
+        )
+        .unwrap();
+        assert_eq!(spec.agent_count(), 2);
+        assert!(spec.record_trace());
+        assert_eq!(spec.ring().size(), n);
+        assert!(spec.synchrony().is_fsync());
+        let mut sim = spec.instantiate(
+            Box::new(FullActivation),
+            Box::new(crate::adversary::StickyRandomEdge::new(1, 6, 0.25, 7)),
+        );
+        let fresh_report = sim.run(200, StopCondition::AllTerminated);
+        let fresh_trace = sim.trace().expect("trace on").clone();
+        // Recycling the same simulation (the seeded adversary is restored by
+        // its reset hook) must replay the identical execution; run_into
+        // refills an existing report in place.
+        let mut recycled_report = RunReport::default();
+        for _ in 0..3 {
+            sim.recycle(&spec);
+            assert_eq!(sim.round(), 0);
+            sim.run_into(200, StopCondition::AllTerminated, &mut recycled_report);
+            assert_eq!(fresh_report, recycled_report);
+            assert_eq!(&fresh_trace, sim.trace().expect("trace on"));
+        }
+    }
+
+    #[test]
+    fn recycle_adopts_a_new_shape_and_policies() {
+        let small = RunSpec::new(
+            RingTopology::new(5).unwrap(),
+            SynchronyModel::Fsync,
+            vec![
+                AgentSpec::new(
+                    NodeId::new(0),
+                    Handedness::LeftIsCcw,
+                    Box::new(KnownBound::new(5)) as Box<dyn Protocol>,
+                ),
+                AgentSpec::new(
+                    NodeId::new(2),
+                    Handedness::LeftIsCcw,
+                    Box::new(KnownBound::new(5)) as Box<dyn Protocol>,
+                ),
+            ],
+            true,
+        )
+        .unwrap();
+        let big = RunSpec::new(
+            RingTopology::new(9).unwrap(),
+            SynchronyModel::Fsync,
+            vec![AgentSpec::new(
+                NodeId::new(4),
+                Handedness::LeftIsCw,
+                Box::new(LoneWalker::new(0)) as Box<dyn Protocol>,
+            )],
+            false,
+        )
+        .unwrap();
+        let reference = big
+            .instantiate(Box::new(FullActivation), Box::new(NoRemoval))
+            .run(40, StopCondition::RoundBudget);
+        // Start from the *small* two-agent spec, then recycle into the
+        // nine-node single-agent one with different policies: the grown ring
+        // and shrunk team must behave exactly like a fresh build.
+        let mut sim = small.instantiate(
+            Box::new(FullActivation),
+            Box::new(BlockAgent::new(AgentId::new(0))),
+        );
+        let _ = sim.run(30, StopCondition::AllTerminated);
+        sim.replace_policies(Box::new(FullActivation), Box::new(NoRemoval));
+        sim.recycle(&big);
+        assert!(sim.trace().is_none(), "recycling a trace-off spec drops the trace");
+        assert_eq!(sim.run(40, StopCondition::RoundBudget), reference);
+    }
+
+    #[test]
     fn peek_exposes_predictions_without_advancing() {
         let n = 5;
-        let sim = fsync_sim(
+        let mut sim = fsync_sim(
             n,
             &[0, 2],
             vec![Box::new(KnownBound::new(n)), Box::new(KnownBound::new(n))],

@@ -84,6 +84,13 @@ impl Trace {
         self.rounds.push(record);
     }
 
+    /// Forgets every recorded round, keeping the allocation so a recycled
+    /// simulation (see [`Simulation::recycle`](crate::sim::Simulation::recycle))
+    /// can refill the trace without reallocating the round buffer.
+    pub fn clear(&mut self) {
+        self.rounds.clear();
+    }
+
     /// All recorded rounds in order.
     #[must_use]
     pub fn rounds(&self) -> &[RoundRecord] {

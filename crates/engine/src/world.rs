@@ -253,6 +253,67 @@ impl AgentSoA {
         }
     }
 
+    /// Re-initialises the whole team in place from per-agent templates: every
+    /// parallel vector is cleared and refilled (capacity reused — no
+    /// allocation when the shape matches a previous run, and vector growth is
+    /// the only allocation when it does not), and each agent's program copies
+    /// the template's pristine state through
+    /// [`AgentProgram::clone_from_program`] (falling back to a fresh program
+    /// clone on a representation mismatch). This is the team half of
+    /// [`Simulation::recycle`](crate::sim::Simulation::recycle).
+    pub(crate) fn reset_from<'a>(
+        &mut self,
+        ring_size: usize,
+        specs: impl ExactSizeIterator<Item = (NodeId, Handedness, &'a AgentProgram)>,
+    ) {
+        let count = specs.len();
+        self.ring_size = ring_size;
+        self.node.clear();
+        self.handedness.clear();
+        self.held_port.clear();
+        self.held_port.resize(count, None);
+        self.terminated.clear();
+        self.terminated.resize(count, false);
+        self.prior.clear();
+        self.prior.resize(count, PriorOutcome::Idle);
+        self.moves.clear();
+        self.moves.resize(count, 0);
+        self.activations.clear();
+        self.activations.resize(count, 0);
+        self.last_active_round.clear();
+        self.last_active_round.resize(count, 0);
+        self.asleep_on_port.clear();
+        self.asleep_on_port.resize(count, 0);
+        self.terminated_at.clear();
+        self.terminated_at.resize(count, None);
+        self.poll_termination.clear();
+        self.program.truncate(count);
+        self.visited.clear();
+        self.visited.resize(count * ring_size, false);
+        self.node_population.clear();
+        self.node_population.resize(ring_size, 0);
+        self.crowded_nodes = 0;
+        for (index, (node, handedness, template)) in specs.enumerate() {
+            debug_assert!(node.index() < ring_size, "RunSpec starts are validated");
+            self.node.push(node);
+            self.handedness.push(handedness);
+            self.poll_termination
+                .push(template.termination_kind() != TerminationKind::Unconscious);
+            if let Some(live) = self.program.get_mut(index) {
+                if !live.clone_from_program(template) {
+                    *live = template.clone_program();
+                }
+            } else {
+                self.program.push(template.clone_program());
+            }
+            self.visited[index * ring_size + node.index()] = true;
+            self.node_population[node.index()] += 1;
+            if self.node_population[node.index()] == 2 {
+                self.crowded_nodes += 1;
+            }
+        }
+    }
+
     /// Records that an agent left `from` for `to`, keeping the population
     /// index and the crowded-node counter in sync.
     #[inline]

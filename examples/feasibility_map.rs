@@ -3,13 +3,20 @@
 //!
 //! This is the programme behind `EXPERIMENTS.md`. Ring sizes are kept small
 //! so the whole map runs in a couple of minutes; pass `--large` for the
-//! larger sweep used in the benchmark harness.
+//! larger sweep used in the benchmark harness, or `--huge` for the
+//! *Revisited*-scale battery (larger rings, more seeds, dense start
+//! placements — affordable thanks to the recycled run lifecycle; set
+//! `DYNRING_HUGE_SMOKE=1` to exercise the huge configuration on tiny rings,
+//! as CI does).
 //!
 //! ```bash
 //! cargo run --release --example feasibility_map
+//! cargo run --release --example feasibility_map -- --huge
 //! ```
 
-use dynring_analysis::{figures, lower_bounds, markdown_table, tables, BatchRunner};
+use dynring_analysis::{
+    figures, lower_bounds, markdown_table, tables, BatchRunner, PlacementDensity,
+};
 
 /// Ring sizes and seed counts for one regeneration of the map.
 pub struct MapConfig {
@@ -28,6 +35,9 @@ pub struct MapConfig {
     pub figures_n: usize,
     /// Ring size for the Theorem 4 lower-bound row.
     pub lower_bound_n: usize,
+    /// Start-placement density of the possibility batteries (the `--huge`
+    /// map sweeps the dense grid of the Revisited follow-up).
+    pub density: PlacementDensity,
 }
 
 impl MapConfig {
@@ -41,6 +51,7 @@ impl MapConfig {
             ssync_impossibility_n: 10,
             figures_n: 12,
             lower_bound_n: 12,
+            density: PlacementDensity::Standard,
         }
     }
 
@@ -54,6 +65,32 @@ impl MapConfig {
             ssync_impossibility_n: 10,
             figures_n: 12,
             lower_bound_n: 12,
+            density: PlacementDensity::Standard,
+        }
+    }
+
+    /// The `--huge` battery of the ROADMAP (per the *Revisited* follow-up,
+    /// arXiv:2001.04525): larger rings, more seeds and the dense
+    /// start-placement grid. Honour `DYNRING_HUGE_SMOKE=1` (the CI knob)
+    /// by shrinking the rings back to smoke scale while keeping the dense
+    /// grid and extra seeds, so the configuration itself stays exercised.
+    pub fn huge() -> Self {
+        if std::env::var("DYNRING_HUGE_SMOKE").is_ok_and(|v| v != "0" && !v.is_empty()) {
+            return MapConfig {
+                seeds: 2,
+                density: PlacementDensity::Dense,
+                ..MapConfig::small()
+            };
+        }
+        MapConfig {
+            fsync_sizes: vec![8, 16, 32, 64, 128],
+            ssync_sizes: vec![6, 9, 12, 16],
+            seeds: 4,
+            impossibility_n: 24,
+            ssync_impossibility_n: 12,
+            figures_n: 16,
+            lower_bound_n: 16,
+            density: PlacementDensity::Dense,
         }
     }
 }
@@ -74,20 +111,25 @@ pub fn run(config: &MapConfig) -> bool {
     let t1 = tables::table1_with(&runner, config.impossibility_n);
     println!("{}", markdown_table("Table 1 — FSYNC impossibility results", &t1));
 
-    let t2 = tables::table2(&config.fsync_sizes, config.seeds);
+    let t2 = tables::table2_battery(&runner, &config.fsync_sizes, config.seeds, config.density);
     println!("{}", markdown_table("Table 2 — FSYNC possibility results", &t2));
 
     let t3 = tables::table3_with(&runner, config.ssync_impossibility_n);
     println!("{}", markdown_table("Table 3 — SSYNC impossibility results", &t3));
 
-    let t4 = tables::table4(&config.ssync_sizes, config.seeds);
+    let t4 = tables::table4_battery(&runner, &config.ssync_sizes, config.seeds, config.density);
     println!("{}", markdown_table("Table 4 — SSYNC possibility results", &t4));
 
     let figs = figures::all_figures(config.figures_n);
     println!("{}", markdown_table("Figures 2, 5–7, 12, 15, 16", &figs));
 
     let mut lb = vec![lower_bounds::theorem4(config.lower_bound_n)];
-    lb.extend(lower_bounds::theorem13_15(&config.ssync_sizes, config.seeds));
+    lb.extend(lower_bounds::theorem13_15_battery(
+        &runner,
+        &config.ssync_sizes,
+        config.seeds,
+        config.density,
+    ));
     println!("{}", markdown_table("Lower bounds (Theorems 4, 13, 15)", &lb));
 
     let all_hold = t1
@@ -103,7 +145,12 @@ pub fn run(config: &MapConfig) -> bool {
 }
 
 fn main() {
-    let large = std::env::args().any(|a| a == "--large");
-    let config = if large { MapConfig::large() } else { MapConfig::small() };
+    let config = if std::env::args().any(|a| a == "--huge") {
+        MapConfig::huge()
+    } else if std::env::args().any(|a| a == "--large") {
+        MapConfig::large()
+    } else {
+        MapConfig::small()
+    };
     assert!(run(&config), "feasibility map inconsistent with the paper");
 }

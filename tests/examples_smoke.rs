@@ -42,8 +42,19 @@ fn feasibility_map_rows_all_hold() {
         ssync_impossibility_n: 8,
         lower_bound_n: 12,
         figures_n: 12,
+        density: dynring_analysis::PlacementDensity::Standard,
     };
     assert!(feasibility_map::run(&config), "feasibility map inconsistent with the paper");
+}
+
+#[test]
+fn feasibility_map_huge_config_holds_at_smoke_scale() {
+    // The `--huge` battery (dense placements, extra seeds) on smoke-scale
+    // rings, exactly as the CI job runs it — the configuration cannot rot
+    // even when nobody runs the full-size battery.
+    let mut config = feasibility_map::MapConfig::small();
+    config.density = dynring_analysis::PlacementDensity::Dense;
+    assert!(feasibility_map::run(&config), "huge battery inconsistent with the paper");
 }
 
 #[test]
