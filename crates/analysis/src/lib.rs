@@ -16,6 +16,9 @@
 //! * [`sweeps`] — parameter sweeps over the ring size used to check the
 //!   asymptotic claims (`3N − 6`, `O(n)`, `O(n log n)`, `O(N²)`, `O(n²)`);
 //! * [`lower_bounds`] — the experiments accompanying Theorems 4, 13 and 15;
+//! * [`model_check`] — exhaustive bounded search over **every** adversary
+//!   play of a small cell, proving the Table 1/3 impossibility rows for
+//!   small `n` and discovering worst-case schedules;
 //! * [`report`] — markdown rendering of all of the above (used by
 //!   `EXPERIMENTS.md` and the examples).
 //!
@@ -37,12 +40,14 @@
 pub mod batch;
 pub mod figures;
 pub mod lower_bounds;
+pub mod model_check;
 pub mod report;
 pub mod scenario;
 pub mod sweeps;
 pub mod tables;
 
 pub use batch::BatchRunner;
+pub use model_check::{ModelCheck, Objective, TableCell, Verdict};
 pub use report::{markdown_table, RowResult};
 pub use scenario::{AdversaryKind, Scenario, ScenarioRunner, SchedulerKind};
 pub use sweeps::PlacementDensity;

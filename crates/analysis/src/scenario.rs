@@ -89,7 +89,7 @@ impl AdversaryKind {
         AdversaryKind::Scripted(schedule.into())
     }
 
-    fn instantiate(&self) -> Box<dyn EdgePolicy> {
+    pub(crate) fn instantiate(&self) -> Box<dyn EdgePolicy> {
         match self {
             AdversaryKind::Static => Box::new(NoRemoval),
             AdversaryKind::Random { p, seed } => Box::new(RandomEdge::new(*p, *seed)),
@@ -196,7 +196,7 @@ pub enum SchedulerKind {
 }
 
 impl SchedulerKind {
-    fn instantiate(&self) -> Box<dyn ActivationPolicy> {
+    pub(crate) fn instantiate(&self) -> Box<dyn ActivationPolicy> {
         match self {
             SchedulerKind::Full => Box::new(FullActivation),
             SchedulerKind::RoundRobin => Box::new(RoundRobinSingle::new()),
@@ -362,7 +362,9 @@ impl Scenario {
         self
     }
 
-    fn ring(&self) -> RingTopology {
+    /// The ring topology this scenario runs on (with its landmark, if any).
+    #[must_use]
+    pub fn ring(&self) -> RingTopology {
         match self.landmark {
             Some(l) => RingTopology::with_landmark(self.ring_size, NodeId::new(l))
                 .expect("valid landmark ring"),

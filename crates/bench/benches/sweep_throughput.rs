@@ -158,7 +158,7 @@ fn main() {
             }
             if hard_gate() {
                 eprintln!(
-                    "DYNRING_BENCH_GATE=hard: failing on {} regression(s) >= 10%",
+                    "bench gate (hard by default; DYNRING_BENCH_GATE=soft to opt out): failing on {} regression(s) >= 10%",
                     drops.len()
                 );
                 std::process::exit(1);

@@ -17,6 +17,9 @@
 //!   (Observations 1–2, Theorems 9, 10, 13, 15, 19);
 //! * [`sim`] — the round loop itself, with port mutual exclusion, passive
 //!   transport, metrics and invariant checking;
+//! * [`checkpoint`] — branchable run state: checkpoint/restore of a live
+//!   simulation plus canonicalised configuration keys, the engine half of
+//!   the analysis-side model checker;
 //! * [`trace`] — per-round records of everything that happened, for replay,
 //!   rendering and assertions in tests.
 //!
@@ -53,6 +56,7 @@
 #![warn(missing_docs)]
 
 pub mod adversary;
+pub mod checkpoint;
 pub mod error;
 pub mod render;
 pub mod scheduler;
@@ -61,6 +65,7 @@ pub mod trace;
 pub mod world;
 
 pub use adversary::EdgePolicy;
+pub use checkpoint::SimCheckpoint;
 pub use error::EngineError;
 pub use scheduler::ActivationPolicy;
 pub use sim::{AgentSpec, RunReport, RunSpec, Simulation, SimulationBuilder, StopCondition};

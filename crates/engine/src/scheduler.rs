@@ -62,6 +62,28 @@ pub trait ActivationPolicy: Send {
     /// restores the RNG from its original seed; the default no-op is only
     /// correct for stateless policies.
     fn reset(&mut self) {}
+
+    /// Opaque token capturing the policy's mutable per-run state, for the
+    /// engine's checkpoint/restore branching path (see
+    /// [`Simulation::checkpoint`](crate::sim::Simulation::checkpoint)).
+    ///
+    /// `None` declares the policy non-checkpointable (its state does not fit
+    /// a token — e.g. a seeded RNG mid-stream); branching callers such as the
+    /// model checker must reject those policies up front via
+    /// [`Simulation::supports_checkpoint`](crate::sim::Simulation::supports_checkpoint).
+    /// The default `Some(0)` is only correct for stateless policies —
+    /// stateful ones must encode their state and decode it in
+    /// [`restore_state`](ActivationPolicy::restore_state).
+    fn state_token(&self) -> Option<u64> {
+        Some(0)
+    }
+
+    /// Restores the state captured by a previous
+    /// [`state_token`](ActivationPolicy::state_token) call. The default no-op
+    /// is only correct for stateless policies.
+    fn restore_state(&mut self, token: u64) {
+        let _ = token;
+    }
 }
 
 /// FSYNC: everyone is active in every round.
@@ -129,6 +151,14 @@ impl ActivationPolicy for RoundRobinSingle {
     fn reset(&mut self) {
         self.cursor = 0;
     }
+
+    fn state_token(&self) -> Option<u64> {
+        Some(self.cursor as u64)
+    }
+
+    fn restore_state(&mut self, token: u64) {
+        self.cursor = token as usize;
+    }
 }
 
 /// Activates each agent independently with probability `p`; re-draws until
@@ -192,6 +222,12 @@ impl ActivationPolicy for RandomSubset {
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    /// A mid-stream `StdRng` does not fit a `u64` token, so random schedules
+    /// cannot be checkpointed (the model checker rejects them up front).
+    fn state_token(&self) -> Option<u64> {
+        None
     }
 }
 
@@ -333,6 +369,14 @@ impl ActivationPolicy for EtFairness {
     fn reset(&mut self) {
         self.inner.reset();
     }
+
+    fn state_token(&self) -> Option<u64> {
+        self.inner.state_token()
+    }
+
+    fn restore_state(&mut self, token: u64) {
+        self.inner.restore_state(token);
+    }
 }
 
 #[cfg(test)]
@@ -473,6 +517,36 @@ mod tests {
         let v = view(&ring, &visited, agents);
         let chosen = p.select(&v);
         assert!(chosen.contains(&AgentId::new(0)));
+    }
+
+    #[test]
+    fn state_tokens_round_trip_where_supported() {
+        let ring = RingTopology::new(4).unwrap();
+        let visited = vec![false; 4];
+        let agents =
+            vec![agent_view(0, true, 0, 0), agent_view(1, true, 0, 0), agent_view(2, true, 0, 0)];
+        let v = view(&ring, &visited, agents);
+        // Round-robin: capture mid-rotation, advance, restore, and the
+        // rotation must resume from the captured cursor.
+        let mut rr = RoundRobinSingle::new();
+        let _ = rr.select(&v);
+        let token = rr.state_token().expect("round-robin is checkpointable");
+        let next: Vec<_> = (0..3).map(|_| rr.select(&v)[0].index()).collect();
+        rr.restore_state(token);
+        let replay: Vec<_> = (0..3).map(|_| rr.select(&v)[0].index()).collect();
+        assert_eq!(next, replay);
+        // Stateless policies are trivially checkpointable; random ones refuse.
+        assert!(FullActivation.state_token().is_some());
+        assert!(FirstMoverOnly.state_token().is_some());
+        assert!(AlternateBlocked::new(2).state_token().is_some());
+        assert!(RandomSubset::new(0.5, 1).state_token().is_none());
+        // The ET wrapper forwards to its inner policy.
+        assert!(EtFairness::new(Box::new(RandomSubset::new(0.5, 1)), 1).state_token().is_none());
+        let mut wrapped = EtFairness::new(Box::new(RoundRobinSingle::new()), 1);
+        let _ = wrapped.select(&v);
+        assert_eq!(wrapped.state_token(), Some(1));
+        wrapped.restore_state(0);
+        assert_eq!(wrapped.state_token(), Some(0));
     }
 
     #[test]

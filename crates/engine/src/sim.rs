@@ -1,6 +1,7 @@
 //! The round loop: Look–Compute–Move against an adversary.
 
 use crate::adversary::EdgePolicy;
+use crate::checkpoint::SimCheckpoint;
 use crate::error::EngineError;
 use crate::scheduler::ActivationPolicy;
 use crate::trace::{AgentRoundRecord, RoundRecord, Trace};
@@ -579,6 +580,25 @@ impl Simulation {
     /// each round (that is its trait contract), so SSYNC rounds carry one
     /// small allocation.
     pub fn step(&mut self) -> bool {
+        self.step_impl(None)
+    }
+
+    /// Plays one round with the adversary's edge choice **forced** to
+    /// `missing` (`None` forces an all-present round), bypassing the
+    /// installed edge policy entirely: it is neither consulted nor advanced,
+    /// and no edge-policy predictions are computed. Out-of-range edges are
+    /// ignored exactly as the engine ignores an invalid policy choice.
+    /// Activation policies still run (and still receive their predictions),
+    /// so a forced round is otherwise identical to a policy round.
+    ///
+    /// This is the expansion primitive of the analysis-side model checker,
+    /// which enumerates every edge choice per round instead of sampling one
+    /// choice from a policy.
+    pub fn step_with_edge(&mut self, missing: Option<EdgeId>) -> bool {
+        self.step_impl(Some(missing))
+    }
+
+    fn step_impl(&mut self, forced: Option<Option<EdgeId>>) -> bool {
         if self.alive == 0 {
             return false;
         }
@@ -603,7 +623,7 @@ impl Simulation {
         //    probe (the policy declared it never reads `predicted`, so the
         //    placeholder views it selects on are equivalent).
         let act_pred = !fsync && self.activation.needs_predictions();
-        let edges_pred = self.edges.needs_predictions();
+        let edges_pred = forced.is_none() && self.edges.needs_predictions();
         let predict = edges_pred || act_pred;
 
         // 1. Fill + activation choice. Under FSYNC the activation policy is
@@ -714,17 +734,22 @@ impl Simulation {
             }
         }
 
-        // 2. Edge adversary (may inspect predicted intents and the active set).
-        let missing = {
-            let view = RoundView {
-                round,
-                ring: &self.ring,
-                agents: Cow::Borrowed(&self.scratch.views),
-                visited: &self.visited,
-            };
-            self.edges
-                .select(&view, &self.scratch.active)
-                .filter(|e| e.index() < self.ring.size())
+        // 2. Edge adversary (may inspect predicted intents and the active
+        // set). A forced round skips the policy: the caller *is* the
+        // adversary.
+        let missing = match forced {
+            Some(choice) => choice.filter(|e| e.index() < self.ring.size()),
+            None => {
+                let view = RoundView {
+                    round,
+                    ring: &self.ring,
+                    agents: Cow::Borrowed(&self.scratch.views),
+                    visited: &self.visited,
+                };
+                self.edges
+                    .select(&view, &self.scratch.active)
+                    .filter(|e| e.index() < self.ring.size())
+            }
         };
 
         // 3. Look + Compute for active agents, in id order. On prediction
@@ -1083,6 +1108,142 @@ impl Simulation {
             }
             _ => Ok(()),
         }
+    }
+
+    /// Number of agents in the team (terminated or not).
+    #[must_use]
+    pub fn agent_count(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Number of agents that have not terminated.
+    #[must_use]
+    pub fn alive_count(&self) -> usize {
+        self.alive
+    }
+
+    /// Total successful traversals across the team so far.
+    #[must_use]
+    pub fn total_moves(&self) -> u64 {
+        self.agents.moves.iter().sum()
+    }
+
+    /// Whether this simulation can be checkpointed: the installed activation
+    /// policy must be able to capture its state in a token (seeded random
+    /// policies cannot; see
+    /// [`ActivationPolicy::state_token`]).
+    /// The edge policy never matters — checkpoint/restore exists to drive
+    /// branching through [`Simulation::step_with_edge`], which bypasses it.
+    #[must_use]
+    pub fn supports_checkpoint(&self) -> bool {
+        self.activation.state_token().is_some()
+    }
+
+    /// Captures the complete behavioural state of the run — round, visit
+    /// maps, every agent's position/port/program state and the activation
+    /// policy's token — into a fresh [`SimCheckpoint`], so the run can be
+    /// branched: `checkpoint`, step with one adversary choice, inspect,
+    /// [`restore`](Simulation::restore), step with the next choice.
+    ///
+    /// The trace (if recording) and the edge policy's internal state are
+    /// deliberately **not** captured: checkpointing callers drive the
+    /// adversary themselves through [`Simulation::step_with_edge`] and run
+    /// trace-off (a restored trace-on simulation keeps appending rounds from
+    /// every branch to one trace).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation policy is not checkpointable; guard with
+    /// [`Simulation::supports_checkpoint`].
+    #[must_use]
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        let mut out = SimCheckpoint::default();
+        self.checkpoint_into(&mut out);
+        out
+    }
+
+    /// [`Simulation::checkpoint`], written into an existing checkpoint whose
+    /// buffers are reused — the model checker's expansion loop re-fills one
+    /// scratch checkpoint per candidate state instead of allocating per
+    /// branch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the activation policy is not checkpointable.
+    pub fn checkpoint_into(&self, out: &mut SimCheckpoint) {
+        out.round = self.round;
+        out.explored_at = self.explored_at;
+        out.unvisited = self.unvisited;
+        out.alive = self.alive;
+        out.visited.clone_from(&self.visited);
+        let agents = &self.agents;
+        out.node.clone_from(&agents.node);
+        out.held_port.clone_from(&agents.held_port);
+        out.terminated.clone_from(&agents.terminated);
+        out.handedness.clone_from(&agents.handedness);
+        out.prior.clone_from(&agents.prior);
+        out.moves.clone_from(&agents.moves);
+        out.activations.clone_from(&agents.activations);
+        out.last_active_round.clone_from(&agents.last_active_round);
+        out.asleep_on_port.clone_from(&agents.asleep_on_port);
+        out.terminated_at.clone_from(&agents.terminated_at);
+        out.agent_visited.clone_from(&agents.visited);
+        out.node_population.clone_from(&agents.node_population);
+        out.crowded_nodes = agents.crowded_nodes;
+        if out.program.len() == agents.program.len() {
+            for (dst, src) in out.program.iter_mut().zip(&agents.program) {
+                if !dst.clone_from_program(src) {
+                    *dst = src.clone_program();
+                }
+            }
+        } else {
+            out.program.clear();
+            out.program.extend(agents.program.iter().map(AgentProgram::clone_program));
+        }
+        out.activation_token = self
+            .activation
+            .state_token()
+            .expect("checkpoint requires a checkpointable activation policy");
+    }
+
+    /// Rewinds the run to a state previously captured from **this** run by
+    /// [`Simulation::checkpoint`]: every field the checkpoint holds is copied
+    /// back in place (no allocation when shapes match) and the activation
+    /// policy's state token is restored. Stepping after a restore replays
+    /// exactly as stepping did from the original state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's shape (team size, ring size) does not match
+    /// this simulation — checkpoints are not portable across specs.
+    pub fn restore(&mut self, cp: &SimCheckpoint) {
+        assert_eq!(cp.node.len(), self.agents.len(), "checkpoint is from a different team");
+        assert_eq!(cp.visited.len(), self.ring.size(), "checkpoint is from a different ring");
+        self.round = cp.round;
+        self.explored_at = cp.explored_at;
+        self.unvisited = cp.unvisited;
+        self.alive = cp.alive;
+        self.visited.clone_from(&cp.visited);
+        let agents = &mut self.agents;
+        agents.node.clone_from(&cp.node);
+        agents.held_port.clone_from(&cp.held_port);
+        agents.terminated.clone_from(&cp.terminated);
+        agents.handedness.clone_from(&cp.handedness);
+        agents.prior.clone_from(&cp.prior);
+        agents.moves.clone_from(&cp.moves);
+        agents.activations.clone_from(&cp.activations);
+        agents.last_active_round.clone_from(&cp.last_active_round);
+        agents.asleep_on_port.clone_from(&cp.asleep_on_port);
+        agents.terminated_at.clone_from(&cp.terminated_at);
+        agents.visited.clone_from(&cp.agent_visited);
+        agents.node_population.clone_from(&cp.node_population);
+        agents.crowded_nodes = cp.crowded_nodes;
+        for (dst, src) in agents.program.iter_mut().zip(&cp.program) {
+            if !dst.clone_from_program(src) {
+                *dst = src.clone_program();
+            }
+        }
+        self.activation.restore_state(cp.activation_token);
     }
 }
 

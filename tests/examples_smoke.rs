@@ -25,6 +25,10 @@ mod ssync_transport_models;
 #[allow(dead_code)]
 mod worst_case_schedule;
 
+#[path = "../examples/model_check.rs"]
+#[allow(dead_code)]
+mod model_check;
+
 #[test]
 fn quickstart_explores_and_terminates() {
     let report = quickstart::run(12).expect("quickstart example must succeed");
@@ -84,4 +88,11 @@ fn ssync_transport_models_match_the_theorems() {
 fn worst_case_schedule_reproduces_figure2() {
     let outcome = worst_case_schedule::run(10);
     assert!(outcome.matches(), "Figure 2 outcome diverged from 3n − 6");
+}
+
+#[test]
+fn model_check_rows_hold_at_smoke_scale() {
+    // n ≤ 5 keeps the exhaustive search in test-suite territory; the full
+    // n ≤ 8 matrix runs in tests/model_check.rs and the CI smoke step.
+    assert!(model_check::run(5), "a model-checked Table 1/3 row failed to hold");
 }

@@ -157,3 +157,37 @@ proptest! {
         prop_assert!(report.all_terminated, "terminations {:?}", report.termination_rounds);
     }
 }
+
+/// The FSYNC guarantees also hold from the dense rotated placement grid of
+/// the `--huge` battery (adjacent/spread placements rotated by 1, ⌈n/4⌉ and
+/// ⌈n/2⌉ nodes), under a permanently blocked edge.
+#[test]
+fn fsync_guarantees_hold_on_dense_rotated_placements() {
+    use dynring_analysis::sweeps::{self, PlacementDensity};
+    let n = 8;
+    for algorithm in [
+        Algorithm::KnownBound { upper_bound: n },
+        Algorithm::Unconscious,
+        Algorithm::LandmarkChirality,
+        Algorithm::LandmarkNoChirality,
+        Algorithm::StartFromLandmarkNoChirality,
+    ] {
+        let agents = algorithm.required_agents();
+        for placement in sweeps::start_placements_with(n, agents, PlacementDensity::Dense) {
+            let report = Scenario::fsync(n, algorithm)
+                .with_starts(placement.clone())
+                .with_adversary(AdversaryKind::BlockForever { edge: n / 2 })
+                .with_max_rounds(sweeps::round_budget(&algorithm, n))
+                .run();
+            assert!(report.explored(), "{algorithm} from {placement:?}");
+            match algorithm.termination_kind() {
+                TerminationKind::Explicit => assert!(
+                    report.all_terminated,
+                    "{algorithm} from {placement:?}: {:?}",
+                    report.termination_rounds
+                ),
+                _ => assert!(!report.partially_terminated(), "{algorithm} from {placement:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Exhaustive model checking of the Table 1/3 impossibility rows on small
+//! rings, plus the soundness properties the search rests on: every adversary
+//! play is explored, every discovered witness schedule replays through a
+//! scripted adversary to the same defeat, and the canonical configuration key
+//! is invariant under the ring's rotation/reflection symmetries.
+
+use dynring_analysis::model_check::{self, ModelCheck, Objective};
+use dynring_analysis::scenario::{AdversaryKind, Scenario};
+use dynring_core::Algorithm;
+use dynring_engine::StopCondition;
+use dynring_graph::{EdgeId, Handedness};
+use dynring_model::SynchronyModel;
+use proptest::prelude::*;
+
+/// The machine-checked acceptance matrix: every exhaustively checkable
+/// Table 1/3 cell for `4 ≤ n ≤ 8` resolves to the verdict the paper predicts,
+/// and every impossibility witness replays through
+/// [`AdversaryKind::Scripted`] to the same non-achievement outcome.
+#[test]
+fn every_table1_and_table3_row_is_proven_for_small_n() {
+    for n in 4..=8 {
+        for cell in model_check::infeasibility_cells(n) {
+            let verdict = cell.check.run();
+            if cell.expect_infeasible {
+                let proof = verdict.infeasible().unwrap_or_else(|| {
+                    panic!("{} ({}) must be infeasible", cell.id, cell.claim)
+                });
+                let replay = cell.check.replay(&proof.witness);
+                assert!(
+                    cell.check.objective.defeated_in(&replay),
+                    "{}: the discovered witness (horizon {}) does not reproduce the \
+                     {} defeat when replayed through a scripted adversary: {replay:?}",
+                    cell.id,
+                    proof.witness.horizon(),
+                    cell.check.objective.label(),
+                );
+            } else {
+                assert!(
+                    verdict.is_feasible(),
+                    "{} ({}) must be feasible, got {verdict:?}",
+                    cell.id,
+                    cell.claim
+                );
+            }
+        }
+    }
+}
+
+/// Satellite: the hand-scripted schedules of `lower_bounds` must be no
+/// stronger than the exhaustively discovered worst case — the script is a
+/// regression pin, the search is the source of truth. On every checkable size
+/// the discovered worst case is exactly the paper's `3n − 6`.
+#[test]
+fn figure2_script_is_pinned_by_the_discovered_worst_case() {
+    for n in 5..=7 {
+        let (discovered, scripted) = model_check::cross_validate_figure2(n);
+        assert_eq!(
+            discovered,
+            3 * n as u64 - 6,
+            "n={n}: the exhaustive worst case should equal the paper's 3n-6"
+        );
+        assert_eq!(
+            scripted,
+            3 * n as u64 - 6,
+            "n={n}: the Figure 2 script should force exactly 3n-6"
+        );
+    }
+}
+
+/// The scenario cell a catalogue algorithm is checked in: the algorithm's
+/// natural synchrony/scheduler with deterministic parameters.
+fn catalog_cell(n: usize, algorithm: Algorithm, seed: u64) -> Scenario {
+    match algorithm.synchrony() {
+        SynchronyModel::Fsync => Scenario::fsync(n, algorithm),
+        SynchronyModel::Ssync(_) => Scenario::ssync(n, algorithm, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Satellite: soundness of `Verdict::Feasible` — if the exhaustive search
+    /// says the objective is achieved on **every** play within the depth
+    /// bound, then a sampled (randomised-adversary) run of the same cell must
+    /// also achieve it within the bound.
+    #[test]
+    fn feasible_verdicts_imply_sampled_sweeps_succeed(
+        n in 4usize..7,
+        pick in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let catalog = Algorithm::full_catalog(n);
+        let algorithm = catalog[pick % catalog.len()];
+        let depth = 4 * n as u64;
+        let check = ModelCheck::new(catalog_cell(n, algorithm, 1), Objective::Explore, depth);
+        if let Some(proof) = check.run().feasible() {
+            // Any play explores by `depth`; a sampled sticky-random play is
+            // one such play.
+            let mut scenario = check.scenario.clone();
+            scenario.adversary = AdversaryKind::Sticky {
+                min_hold: 1,
+                max_hold: n as u64,
+                present: 0.3,
+                seed,
+            };
+            scenario.stop = StopCondition::Explored;
+            scenario.max_rounds = depth;
+            let report = scenario.run();
+            prop_assert!(
+                report.explored(),
+                "{algorithm} n={n}: exhaustive search proved exploration by round {depth} \
+                 on every play (worst {}), but the sampled play explored only {}/{n} nodes",
+                proof.worst_round,
+                report.visited_count,
+            );
+        }
+    }
+
+    /// Satellite: the canonical configuration key quotients exactly the ring
+    /// symmetries — rotating a whole cell (starts, landmark, forced edges)
+    /// yields bit-identical keys at every round.
+    #[test]
+    fn canonical_keys_are_rotation_invariant(
+        n in 4usize..9,
+        pick in 0usize..64,
+        start_a in 0usize..8,
+        start_b in 0usize..8,
+        shift in 1usize..8,
+        schedule_bits in any::<u64>(),
+    ) {
+        let catalog = Algorithm::full_catalog(n);
+        let algorithm = catalog[pick % catalog.len()];
+        let shift = shift % n;
+        let agents = algorithm.required_agents();
+        let starts: Vec<usize> =
+            [start_a % n, start_b % n, (start_a + start_b) % n][..agents.min(3)].to_vec();
+        if starts.is_empty() { return Ok(()); }
+
+        let base = catalog_cell(n, algorithm, 1).with_starts(starts.clone());
+        let mut rotated = catalog_cell(n, algorithm, 1)
+            .with_starts(starts.iter().map(|&s| (s + shift) % n).collect());
+        rotated.landmark = base.landmark.map(|l| (l + shift) % n);
+
+        let check_a = ModelCheck::new(base, Objective::Explore, 1);
+        let check_b = ModelCheck::new(rotated, Objective::Explore, 1);
+        let mut sim_a = check_a.branchable_simulation();
+        let mut sim_b = check_b.branchable_simulation();
+        let ring_a = check_a.scenario.ring();
+        let ring_b = check_b.scenario.ring();
+        let (mut key_a, mut key_b) = (Vec::new(), Vec::new());
+        for round in 0..8u32 {
+            // Pseudo-random forced choice, mapped through the rotation.
+            let choice = (schedule_bits >> (8 * round)) as usize % (n + 1);
+            let (edge_a, edge_b) = if choice < n {
+                (Some(EdgeId::new(choice)), Some(EdgeId::new((choice + shift) % n)))
+            } else {
+                (None, None)
+            };
+            sim_a.step_with_edge(edge_a);
+            sim_b.step_with_edge(edge_b);
+            sim_a.checkpoint().canonical_key(&ring_a, &mut key_a);
+            sim_b.checkpoint().canonical_key(&ring_b, &mut key_b);
+            prop_assert_eq!(
+                &key_a, &key_b,
+                "{} n={} shift={} diverged at round {}", algorithm, n, shift, round
+            );
+        }
+    }
+
+    /// Satellite: reflecting a whole cell through node 0 (mirrored starts and
+    /// forced edges, flipped orientations) also yields bit-identical keys.
+    #[test]
+    fn canonical_keys_are_reflection_invariant(
+        n in 4usize..9,
+        pick in 0usize..64,
+        start_a in 0usize..8,
+        start_b in 0usize..8,
+        schedule_bits in any::<u64>(),
+    ) {
+        let catalog = Algorithm::full_catalog(n);
+        let algorithm = catalog[pick % catalog.len()];
+        let agents = algorithm.required_agents();
+        let starts: Vec<usize> =
+            [start_a % n, start_b % n, (start_a + start_b) % n][..agents.min(3)].to_vec();
+        if starts.is_empty() { return Ok(()); }
+        let orientations: Vec<Handedness> = (0..agents)
+            .map(|i| if (schedule_bits >> i) & 1 == 0 {
+                Handedness::LeftIsCcw
+            } else {
+                Handedness::LeftIsCw
+            })
+            .collect();
+        let flip = |h: Handedness| match h {
+            Handedness::LeftIsCcw => Handedness::LeftIsCw,
+            Handedness::LeftIsCw => Handedness::LeftIsCcw,
+        };
+
+        let base = catalog_cell(n, algorithm, 1)
+            .with_starts(starts.clone())
+            .with_orientations(orientations.clone());
+        // Reflection through node 0: node v -> (n - v) % n fixes the default
+        // landmark 0; edge e = (e, e+1) -> (n - 1 - e).
+        let mirrored = catalog_cell(n, algorithm, 1)
+            .with_starts(starts.iter().map(|&s| (n - s) % n).collect())
+            .with_orientations(orientations.iter().map(|&h| flip(h)).collect());
+
+        let check_a = ModelCheck::new(base, Objective::Explore, 1);
+        let check_b = ModelCheck::new(mirrored, Objective::Explore, 1);
+        let mut sim_a = check_a.branchable_simulation();
+        let mut sim_b = check_b.branchable_simulation();
+        let ring = check_a.scenario.ring();
+        let (mut key_a, mut key_b) = (Vec::new(), Vec::new());
+        for round in 0..8u32 {
+            let choice = (schedule_bits >> (8 * round)) as usize % (n + 1);
+            let (edge_a, edge_b) = if choice < n {
+                (Some(EdgeId::new(choice)), Some(EdgeId::new(n - 1 - choice)))
+            } else {
+                (None, None)
+            };
+            sim_a.step_with_edge(edge_a);
+            sim_b.step_with_edge(edge_b);
+            sim_a.checkpoint().canonical_key(&ring, &mut key_a);
+            sim_b.checkpoint().canonical_key(&ring, &mut key_b);
+            prop_assert_eq!(
+                &key_a, &key_b,
+                "{} n={} diverged at round {}", algorithm, n, round
+            );
+        }
+    }
+}

@@ -97,3 +97,36 @@ proptest! {
         prop_assert!(!report.partially_terminated());
     }
 }
+
+/// The SSYNC guarantees also hold from the dense rotated placement grid of
+/// the `--huge` battery, under the default sticky random dynamics.
+#[test]
+fn ssync_guarantees_hold_on_dense_rotated_placements() {
+    use dynring_analysis::sweeps::{self, PlacementDensity};
+    let n = 7;
+    for algorithm in [
+        Algorithm::PtBoundChirality { upper_bound: n },
+        Algorithm::PtLandmarkChirality,
+        Algorithm::PtBoundNoChirality { upper_bound: n },
+        Algorithm::PtLandmarkNoChirality,
+        Algorithm::EtBoundNoChirality { ring_size: n },
+        Algorithm::EtUnconscious,
+    ] {
+        let agents = algorithm.required_agents();
+        for placement in sweeps::start_placements_with(n, agents, PlacementDensity::Dense) {
+            let mut scenario = Scenario::ssync(n, algorithm, 11).with_starts(placement.clone());
+            if algorithm.termination_kind() == TerminationKind::Unconscious {
+                scenario = scenario.with_stop(StopCondition::Explored);
+            }
+            let report = scenario.run();
+            assert!(
+                report.explored(),
+                "{algorithm} from {placement:?}: visited {}/{n}",
+                report.visited_count
+            );
+            if algorithm.termination_kind() != TerminationKind::Unconscious {
+                assert!(report.partially_terminated(), "{algorithm} from {placement:?}");
+            }
+        }
+    }
+}
