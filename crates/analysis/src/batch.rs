@@ -15,7 +15,37 @@
 
 use crate::scenario::{Scenario, ScenarioRunner};
 use dynring_engine::sim::RunReport;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A worker panic captured by [`BatchRunner::run_map_catching`], identifying
+/// the offending input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the input whose `work` call panicked.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common `panic!` case);
+    /// otherwise a placeholder.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked on input {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Fans independent work items across threads, merging results in input
 /// order.
@@ -47,15 +77,27 @@ impl BatchRunner {
 
     /// The default runner: `DYNRING_THREADS` if set (a positive integer),
     /// otherwise the machine's available parallelism.
+    ///
+    /// # Panics
+    ///
+    /// An unparsable `DYNRING_THREADS` (e.g. `"8x"` or `"0"`) is a hard
+    /// error: a typo'd knob silently falling back to all cores would skew
+    /// every "sequential reference" comparison, so the misconfiguration
+    /// aborts loudly instead.
     #[must_use]
     pub fn from_env() -> Self {
-        let threads = std::env::var("DYNRING_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|t| *t > 0)
-            .unwrap_or_else(|| {
+        let threads = match std::env::var("DYNRING_THREADS") {
+            Ok(raw) => match parse_thread_count(&raw) {
+                Ok(t) => t,
+                Err(message) => panic!("invalid DYNRING_THREADS: {message}"),
+            },
+            Err(std::env::VarError::NotPresent) => {
                 std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            });
+            }
+            Err(std::env::VarError::NotUnicode(_)) => {
+                panic!("invalid DYNRING_THREADS: value is not valid unicode")
+            }
+        };
         BatchRunner::new(threads)
     }
 
@@ -70,8 +112,13 @@ impl BatchRunner {
     /// With more than one thread the items are handed out through a shared
     /// counter (work stealing — batteries mix cheap and expensive scenarios),
     /// and each result is reassembled into its input slot afterwards, so the
-    /// output is deterministic whatever the interleaving. `work` must not
-    /// panic; a panicking worker aborts the whole batch.
+    /// output is deterministic whatever the interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker panic, identifying the offending input index in
+    /// the message. The other inputs still run to completion first (see
+    /// [`BatchRunner::run_map_catching`], which returns them instead).
     pub fn run_map<I, T, F>(&self, inputs: &[I], work: F) -> Vec<T>
     where
         I: Sync,
@@ -87,6 +134,11 @@ impl BatchRunner {
     /// [`ScenarioRunner`] (and therefore one reusable `Simulation`) per
     /// thread without any cross-thread sharing; results are still merged in
     /// input order, so the output is identical whatever the thread count.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a worker panic, identifying the offending input index in
+    /// the message.
     pub fn run_map_with<I, T, S, FS, F>(&self, inputs: &[I], state: FS, work: F) -> Vec<T>
     where
         I: Sync,
@@ -94,24 +146,80 @@ impl BatchRunner {
         FS: Fn() -> S + Sync,
         F: Fn(&mut S, &I) -> T + Sync,
     {
+        self.run_map_catching(inputs, state, work)
+            .into_iter()
+            .map(|slot| match slot {
+                Ok(result) => result,
+                Err(panic) => panic!("batch {panic}"),
+            })
+            .collect()
+    }
+
+    /// [`BatchRunner::run_map_with`] with **per-cell panic isolation**: each
+    /// `work` call runs under [`std::panic::catch_unwind`], so one panicking
+    /// input no longer aborts the whole batch — its slot comes back as
+    /// `Err(WorkerPanic)` (with the input index and panic message) and every
+    /// other input still produces its `Ok` result.
+    ///
+    /// A panic may leave the per-worker state half-updated, so the worker
+    /// **quarantines the poisoned state**: it drops its local `S` and builds
+    /// a fresh one via `state` before touching the next input. Results after
+    /// a panic are therefore exactly what a fresh worker would produce —
+    /// this is what lets the service layer's supervisor trust the survivors
+    /// of a poisoned battery.
+    ///
+    /// The panic still unwinds through the standard panic hook before being
+    /// captured, so the usual `thread '…' panicked` line appears on stderr;
+    /// only the *abort* is suppressed.
+    pub fn run_map_catching<I, T, S, FS, F>(
+        &self,
+        inputs: &[I],
+        state: FS,
+        work: F,
+    ) -> Vec<Result<T, WorkerPanic>>
+    where
+        I: Sync,
+        T: Send,
+        FS: Fn() -> S + Sync,
+        F: Fn(&mut S, &I) -> T + Sync,
+    {
+        let caught = |local: &mut S, index: usize, input: &I| -> Result<T, WorkerPanic> {
+            catch_unwind(AssertUnwindSafe(|| work(local, input))).map_err(|payload| {
+                WorkerPanic { index, message: panic_message(payload.as_ref()) }
+            })
+        };
         let workers = self.threads.min(inputs.len());
         if workers <= 1 {
             let mut local = state();
-            return inputs.iter().map(|input| work(&mut local, input)).collect();
+            return inputs
+                .iter()
+                .enumerate()
+                .map(|(index, input)| {
+                    let result = caught(&mut local, index, input);
+                    if result.is_err() {
+                        local = state();
+                    }
+                    result
+                })
+                .collect();
         }
         let next = AtomicUsize::new(0);
-        let mut slots: Vec<Option<T>> = Vec::with_capacity(inputs.len());
+        let mut slots: Vec<Option<Result<T, WorkerPanic>>> = Vec::with_capacity(inputs.len());
         slots.resize_with(inputs.len(), || None);
         let chunks = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|| {
                         let mut local = state();
-                        let mut produced: Vec<(usize, T)> = Vec::new();
+                        let mut produced: Vec<(usize, Result<T, WorkerPanic>)> = Vec::new();
                         loop {
                             let index = next.fetch_add(1, Ordering::Relaxed);
                             let Some(input) = inputs.get(index) else { break };
-                            produced.push((index, work(&mut local, input)));
+                            let result = caught(&mut local, index, input);
+                            if result.is_err() {
+                                local = state();
+                            }
+                            produced.push((index, result));
                         }
                         produced
                     })
@@ -119,7 +227,11 @@ impl BatchRunner {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
+                .map(|h| {
+                    h.join().expect(
+                        "batch workers catch work panics; a join failure is a harness bug",
+                    )
+                })
                 .collect::<Vec<_>>()
         });
         for (index, result) in chunks.into_iter().flatten() {
@@ -146,6 +258,29 @@ impl BatchRunner {
 impl Default for BatchRunner {
     fn default() -> Self {
         BatchRunner::from_env()
+    }
+}
+
+/// Parses a `DYNRING_THREADS`-style value: a positive integer, rejecting
+/// everything else with a human-readable message (the strict core behind
+/// [`BatchRunner::from_env`], split out so it can be tested without touching
+/// the process environment).
+///
+/// # Errors
+///
+/// Returns the message to show the user when the value is not a positive
+/// integer.
+pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{trimmed:?} is zero; use a positive thread count (or unset the variable \
+             to use all cores)"
+        )),
+        Ok(t) => Ok(t),
+        Err(_) => Err(format!(
+            "{raw:?} is not a positive integer thread count (examples: 1, 8)"
+        )),
     }
 }
 
@@ -194,5 +329,100 @@ mod tests {
         let empty: Vec<usize> = Vec::new();
         assert!(BatchRunner::new(8).run_map(&empty, |x| *x).is_empty());
         assert_eq!(BatchRunner::new(8).run_map(&[41], |x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn thread_count_parsing_is_strict() {
+        assert_eq!(parse_thread_count("4"), Ok(4));
+        assert_eq!(parse_thread_count(" 16 "), Ok(16));
+        for bad in ["8x", "0", "-2", "", "all", "3.5"] {
+            let err = parse_thread_count(bad).unwrap_err();
+            assert!(
+                err.contains("positive") || err.contains("zero"),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn catching_map_quarantines_the_panicking_cell() {
+        let inputs: Vec<usize> = (0..40).collect();
+        for threads in [1, 4] {
+            let results = BatchRunner::new(threads).run_map_catching(
+                &inputs,
+                || (),
+                |(), x| {
+                    assert!(*x != 17, "cell seventeen is poisoned");
+                    x * 2
+                },
+            );
+            assert_eq!(results.len(), inputs.len());
+            for (i, result) in results.iter().enumerate() {
+                if i == 17 {
+                    let panic = result.as_ref().unwrap_err();
+                    assert_eq!(panic.index, 17);
+                    assert!(panic.message.contains("seventeen"), "{panic}");
+                } else {
+                    assert_eq!(result.as_ref().unwrap(), &(i * 2), "{threads} threads");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catching_map_rebuilds_poisoned_worker_state() {
+        // Sequential so one worker state sees both the panic and the
+        // survivors: the counter must restart from zero after the panic,
+        // proving the poisoned state was quarantined and rebuilt.
+        let inputs: Vec<usize> = (0..6).collect();
+        let results = BatchRunner::sequential().run_map_catching(
+            &inputs,
+            || 0usize,
+            |count, x| {
+                *count += 1;
+                assert!(*x != 2, "poison");
+                *count
+            },
+        );
+        let counts: Vec<Option<usize>> = results.into_iter().map(Result::ok).collect();
+        assert_eq!(counts, vec![Some(1), Some(2), None, Some(1), Some(2), Some(3)]);
+    }
+
+    #[test]
+    fn run_map_panics_name_the_offending_index() {
+        let inputs: Vec<usize> = (0..8).collect();
+        let outcome = std::panic::catch_unwind(|| {
+            BatchRunner::new(2).run_map(&inputs, |x| {
+                assert!(*x != 5, "boom");
+                *x
+            })
+        });
+        let payload = outcome.expect_err("a worker panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("propagated panic carries a formatted message");
+        assert!(message.contains("input 5"), "{message}");
+        assert!(message.contains("boom"), "{message}");
+    }
+
+    #[test]
+    fn reports_survive_a_poisoned_sibling_cell() {
+        // A battery where one scenario panics (start out of range) must
+        // still produce every other report, identical to running them alone.
+        let good = Scenario::fsync(8, Algorithm::KnownBound { upper_bound: 8 });
+        let bad = good.clone().with_starts(vec![99, 100]);
+        let scenarios = vec![good.clone(), bad, good.clone()];
+        let results = BatchRunner::new(2).run_map_catching(
+            &scenarios,
+            ScenarioRunner::new,
+            |runner, scenario| runner.run(scenario),
+        );
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok());
+        let reference = good.run();
+        assert_eq!(results[0].as_ref().unwrap(), &reference);
+        assert_eq!(results[2].as_ref().unwrap(), &reference);
     }
 }

@@ -13,18 +13,13 @@
 
 use dynring_bench::throughput::{
     case_json_line, case_rates, dispatch_comparisons, extract_section, fast_mode, hard_gate,
-    measure, out_path, parse_baseline, regressions, standard_cases, write_document,
+    measure, measurement_budget, out_path, parse_baseline, regressions, standard_cases, write_document,
     ThroughputSample,
 };
-use std::time::Duration;
 
 fn main() {
     let fast = fast_mode();
-    let budget_ms: u64 = std::env::var("DYNRING_BENCH_BUDGET_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if fast { 40 } else { 800 });
-    let budget = Duration::from_millis(budget_ms);
+    let budget = measurement_budget(fast);
     let chunk: u64 = if fast { 512 } else { 4096 };
 
     println!(

@@ -20,7 +20,7 @@
 //! ```
 
 use dynring_bench::throughput::{
-    extract_section, fast_mode, hard_gate, measure_runs, out_path, parse_baseline,
+    extract_section, fast_mode, hard_gate, measure_runs, measurement_budget, out_path, parse_baseline,
     recycle_comparisons, regressions, sweep_case_scenario, sweep_cases, sweep_json_line,
     sweep_rates, Lifecycle, SweepSample,
 };
@@ -28,7 +28,6 @@ use dynring_analysis::scenario::ScenarioRunner;
 use dynring_engine::sim::RunReport;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
 /// Wraps the system allocator, counting every allocation (including
 /// reallocations) so the recycled steady state can be asserted
@@ -90,11 +89,7 @@ fn steady_state_allocations() -> Vec<(String, u64)> {
 
 fn main() {
     let fast = fast_mode();
-    let budget_ms: u64 = std::env::var("DYNRING_BENCH_BUDGET_MS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(if fast { 40 } else { 800 });
-    let budget = Duration::from_millis(budget_ms);
+    let budget = measurement_budget(fast);
 
     println!(
         "sweep throughput ({} mode, {}ms window per case)\n",

@@ -1,0 +1,252 @@
+//! Deterministic fault injection: the harness the resume/retry machinery is
+//! tested against.
+//!
+//! A [`FaultPlan`] is a *pure description* of which faults fire where —
+//! "panic cell 3 on its first attempt", "kill the worker before cell 9",
+//! "fail the 5th journal append" — with no hidden state, so the same plan
+//! replays the same interleaving every time. Plans can be built explicitly
+//! or derived from a seed ([`FaultPlan::seeded`]), which is what the
+//! proptests use to walk the interleaving space: for every seed, the job
+//! must either complete, or be resumable to the byte-identical outcome an
+//! uninterrupted run produces.
+
+use crate::journal::JournalSink;
+use std::collections::BTreeSet;
+
+/// The marker every injected panic message carries, so tests (and humans
+/// reading a failure report) can tell injected faults from real bugs.
+pub const INJECTED_FAULT_MARKER: &str = "injected fault";
+
+/// A deterministic plan of faults to inject into a supervised run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// `(cell, attempt)` pairs whose execution panics.
+    panics: BTreeSet<(usize, u32)>,
+    /// Cells before which the worker pool is killed (simulated SIGKILL:
+    /// the current chunk's journal entries are committed, then the run
+    /// aborts with [`crate::ServiceError::Killed`]).
+    kills: BTreeSet<usize>,
+    /// Journal append ordinals (0-based, counted per run) that fail with an
+    /// injected I/O error.
+    io_errors: BTreeSet<u64>,
+}
+
+/// SplitMix64: the same tiny deterministic generator the engine's
+/// adversaries use, reused here so a seed maps to one fault interleaving
+/// forever.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults. This is what production runs use.
+    #[must_use]
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether the plan injects anything at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.panics.is_empty() && self.kills.is_empty() && self.io_errors.is_empty()
+    }
+
+    /// Adds a panic on one specific `(cell, attempt)` (attempts are
+    /// 1-based): the cell fails once and succeeds on retry.
+    #[must_use]
+    pub fn with_panic(mut self, cell: usize, attempt: u32) -> Self {
+        self.panics.insert((cell, attempt));
+        self
+    }
+
+    /// Adds panics on every attempt `1..=max_attempts` of `cell`: the cell
+    /// never succeeds and must end up quarantined.
+    #[must_use]
+    pub fn with_persistent_panic(mut self, cell: usize, max_attempts: u32) -> Self {
+        for attempt in 1..=max_attempts {
+            self.panics.insert((cell, attempt));
+        }
+        self
+    }
+
+    /// Kills the worker pool before `cell` runs (after the preceding chunk
+    /// is journaled and committed), simulating a SIGKILL mid-sweep.
+    #[must_use]
+    pub fn with_kill_before(mut self, cell: usize) -> Self {
+        self.kills.insert(cell);
+        self
+    }
+
+    /// Fails the journal append with the given 0-based ordinal (counted
+    /// from the start of the run) with an injected I/O error.
+    #[must_use]
+    pub fn with_io_error(mut self, append_ordinal: u64) -> Self {
+        self.io_errors.insert(append_ordinal);
+        self
+    }
+
+    /// Derives a plan from a seed: a handful of panics, at most one kill
+    /// and at most one I/O error, all placed pseudo-randomly over a job of
+    /// `cells` cells. The same `(seed, cells, max_attempts)` triple always
+    /// yields the same plan.
+    #[must_use]
+    pub fn seeded(seed: u64, cells: usize, max_attempts: u32) -> Self {
+        let mut plan = FaultPlan::none();
+        if cells == 0 {
+            return plan;
+        }
+        let mut state = seed ^ 0xd6e8_feb8_6659_fd93;
+        let panic_count = (splitmix64(&mut state) % 4) as usize;
+        for _ in 0..panic_count {
+            let cell = (splitmix64(&mut state) as usize) % cells;
+            let attempt = 1 + (splitmix64(&mut state) % u64::from(max_attempts.max(1))) as u32;
+            // Every other seeded panic is persistent, exercising quarantine.
+            if splitmix64(&mut state).is_multiple_of(2) {
+                plan = plan.with_persistent_panic(cell, max_attempts);
+            } else {
+                plan = plan.with_panic(cell, attempt);
+            }
+        }
+        if splitmix64(&mut state).is_multiple_of(3) {
+            plan = plan.with_kill_before((splitmix64(&mut state) as usize) % cells);
+        }
+        if splitmix64(&mut state).is_multiple_of(4) {
+            plan = plan.with_io_error(splitmix64(&mut state) % (2 * cells as u64 + 4));
+        }
+        plan
+    }
+
+    /// The same plan minus its kills — what a test passes when *resuming*
+    /// after a kill, mirroring reality: a SIGKILL is external, and the
+    /// resumed process is not re-killed at the same cell.
+    #[must_use]
+    pub fn without_kills(&self) -> Self {
+        FaultPlan { kills: BTreeSet::new(), ..self.clone() }
+    }
+
+    /// The same plan minus its I/O errors (resume after an injected disk
+    /// fault).
+    #[must_use]
+    pub fn without_io_errors(&self) -> Self {
+        FaultPlan { io_errors: BTreeSet::new(), ..self.clone() }
+    }
+
+    /// Panics (with [`INJECTED_FAULT_MARKER`] in the message) iff the plan
+    /// injects a panic at this `(cell, attempt)`. Called inside the
+    /// supervised cell closure, so the panic is caught, journaled and
+    /// retried exactly like a real cell bug.
+    pub fn maybe_panic(&self, cell: usize, attempt: u32) {
+        if self.panics.contains(&(cell, attempt)) {
+            panic!("{INJECTED_FAULT_MARKER}: cell {cell} attempt {attempt}");
+        }
+    }
+
+    /// Whether the plan kills the worker pool before this cell.
+    #[must_use]
+    pub fn kills_before(&self, cell: usize) -> bool {
+        self.kills.contains(&cell)
+    }
+
+    /// Wraps a journal sink so that appends at the planned ordinals fail
+    /// with an injected I/O error. Counts from zero at each call (i.e. per
+    /// supervised run).
+    #[must_use]
+    pub fn wrap_sink(&self, inner: Box<dyn JournalSink>) -> Box<dyn JournalSink> {
+        if self.io_errors.is_empty() {
+            inner
+        } else {
+            Box::new(FaultySink { inner, fail_at: self.io_errors.clone(), ordinal: 0 })
+        }
+    }
+}
+
+/// A journal sink that fails chosen appends, for fault-injection tests.
+struct FaultySink {
+    inner: Box<dyn JournalSink>,
+    fail_at: BTreeSet<u64>,
+    ordinal: u64,
+}
+
+impl JournalSink for FaultySink {
+    fn append(&mut self, line: &str) -> std::io::Result<()> {
+        let ordinal = self.ordinal;
+        self.ordinal += 1;
+        if self.fail_at.contains(&ordinal) {
+            return Err(std::io::Error::other(format!(
+                "{INJECTED_FAULT_MARKER}: journal append {ordinal} failed"
+            )));
+        }
+        self.inner.append(line)
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::MemorySink;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::seeded(seed, 12, 3), FaultPlan::seeded(seed, 12, 3));
+        }
+        // Seeds must actually explore the space: some plan injects a panic,
+        // some plan injects a kill, some plan is empty.
+        let plans: Vec<FaultPlan> = (0..64).map(|s| FaultPlan::seeded(s, 12, 3)).collect();
+        assert!(plans.iter().any(|p| !p.panics.is_empty()));
+        assert!(plans.iter().any(|p| !p.kills.is_empty()));
+        assert!(plans.iter().any(FaultPlan::is_empty));
+    }
+
+    #[test]
+    fn stripping_kills_and_io_errors_preserves_panics() {
+        let plan = FaultPlan::none()
+            .with_panic(2, 1)
+            .with_kill_before(5)
+            .with_io_error(3);
+        let resumable = plan.without_kills().without_io_errors();
+        assert!(resumable.kills.is_empty());
+        assert!(resumable.io_errors.is_empty());
+        assert_eq!(resumable.panics, plan.panics);
+        assert!(plan.kills_before(5));
+        assert!(!resumable.kills_before(5));
+    }
+
+    #[test]
+    fn maybe_panic_fires_only_on_planned_attempts() {
+        let plan = FaultPlan::none().with_panic(3, 2);
+        plan.maybe_panic(3, 1);
+        plan.maybe_panic(2, 2);
+        let caught = std::panic::catch_unwind(|| plan.maybe_panic(3, 2));
+        let message = *caught.unwrap_err().downcast::<String>().unwrap();
+        assert!(message.contains(INJECTED_FAULT_MARKER), "{message}");
+    }
+
+    #[test]
+    fn faulty_sink_fails_exactly_the_planned_ordinals() {
+        let plan = FaultPlan::none().with_io_error(1);
+        let mut sink = plan.wrap_sink(Box::<MemorySink>::default());
+        sink.append("a").unwrap();
+        let err = sink.append("b").unwrap_err();
+        assert!(err.to_string().contains(INJECTED_FAULT_MARKER));
+        sink.append("c").unwrap();
+    }
+
+    #[test]
+    fn empty_plan_passes_sinks_through() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_empty());
+        let mut sink = plan.wrap_sink(Box::<MemorySink>::default());
+        for i in 0..100 {
+            sink.append(&format!("line {i}")).unwrap();
+        }
+    }
+}

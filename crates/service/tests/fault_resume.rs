@@ -1,0 +1,185 @@
+//! The kill-and-resume contract, driven through a deterministic
+//! fault-injection harness.
+//!
+//! Every test follows one shape: run a battery under a [`FaultPlan`]
+//! (injected cell panics, worker kills, journal I/O errors), resume after
+//! each abort from the journal on disk, and assert the final rendered
+//! report is **byte-identical** to an uninterrupted run with the same cell
+//! faults. The seeded proptest sweeps that shape over many interleavings;
+//! the exhaustive loops pin the two single-fault families (a kill before
+//! every cell index, an I/O error at every journal append ordinal).
+
+use dynring_analysis::Scenario;
+use dynring_core::Algorithm;
+use dynring_service::{FaultPlan, Job, JobStatus, ServiceError, Supervisor};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn battery(cells: usize) -> Job {
+    let cells: Vec<Scenario> = (0..cells)
+        .map(|i| Scenario::fsync(6 + i, Algorithm::KnownBound { upper_bound: 6 + i }))
+        .collect();
+    Job::new("fault-resume-battery", cells)
+}
+
+fn temp_journal(tag: &str) -> PathBuf {
+    let path = std::env::temp_dir()
+        .join(format!("dynring-fault-{tag}-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+/// Runs `job` under `plan`, resuming after every injected abort with the
+/// corresponding fault family stripped (a SIGKILL or disk fault is external:
+/// the resumed process does not replay it). Returns the rendered report and
+/// the number of aborts survived.
+fn run_to_completion(
+    supervisor: &Supervisor,
+    job: &Job,
+    plan: &FaultPlan,
+    path: &Path,
+) -> (String, usize) {
+    let mut plan = plan.clone();
+    let mut aborts = 0;
+    for _ in 0..32 {
+        match supervisor.clone().fault_plan(plan.clone()).run(job, path) {
+            Ok(outcome) => return (outcome.render(job), aborts),
+            Err(ServiceError::Killed { .. }) => {
+                aborts += 1;
+                plan = plan.without_kills();
+            }
+            Err(ServiceError::Io { .. }) => {
+                aborts += 1;
+                plan = plan.without_io_errors();
+            }
+            Err(other) => panic!("unexpected service error: {other}"),
+        }
+    }
+    panic!("job did not settle within 32 resume attempts");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// For every seeded fault interleaving (panics, at most one kill, at
+    /// most one journal I/O error), the job either completes directly or
+    /// resumes losslessly: the final report is byte-identical to an
+    /// uninterrupted run with the same cell panics.
+    #[test]
+    fn every_seeded_interleaving_completes_or_resumes_losslessly(
+        seed in 0u64..10_000,
+        cells in 3usize..9,
+        threads in 1usize..4,
+        chunk in 1usize..5,
+    ) {
+        let job = battery(cells);
+        let plan = FaultPlan::seeded(seed, cells, 3);
+        let supervisor = Supervisor::new().threads(threads).chunk(chunk);
+
+        // Uninterrupted reference: same cell panics, no kills, no disk
+        // faults, fresh journal.
+        let reference_path = temp_journal(&format!("ref-{seed}-{cells}"));
+        let reference_plan = plan.without_kills().without_io_errors();
+        let reference = supervisor
+            .clone()
+            .fault_plan(reference_plan)
+            .run(&job, &reference_path)
+            .expect("reference run has no aborting faults");
+        let reference_render = reference.render(&job);
+
+        let path = temp_journal(&format!("run-{seed}-{cells}"));
+        let (render, _aborts) = run_to_completion(&supervisor, &job, &plan, &path);
+        prop_assert_eq!(&render, &reference_render);
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&reference_path).ok();
+    }
+}
+
+/// A kill before **every** cell index (and every chunk size around it)
+/// resumes to the byte-identical uninterrupted report, and the resume
+/// actually reuses journaled cells rather than re-running the battery.
+#[test]
+fn kill_before_every_cell_resumes_byte_identically() {
+    const CELLS: usize = 7;
+    let job = battery(CELLS);
+    let reference_path = temp_journal("kill-sweep-ref");
+    let supervisor = Supervisor::new().threads(2).chunk(3);
+    let reference = supervisor.run(&job, &reference_path).unwrap();
+    let reference_render = reference.render(&job);
+    assert_eq!(reference.status, JobStatus::Complete);
+
+    for kill_at in 0..CELLS {
+        let path = temp_journal(&format!("kill-sweep-{kill_at}"));
+        let err = supervisor
+            .clone()
+            .fault_plan(FaultPlan::none().with_kill_before(kill_at))
+            .run(&job, &path)
+            .unwrap_err();
+        assert!(
+            matches!(err, ServiceError::Killed { cell } if cell == kill_at),
+            "kill at {kill_at}: {err}"
+        );
+        let resumed = supervisor.run(&job, &path).unwrap();
+        assert_eq!(resumed.render(&job), reference_render, "kill before cell {kill_at}");
+        // Everything journaled before the kill must be reused, not re-run.
+        assert_eq!(resumed.resumed, kill_at, "kill before cell {kill_at}");
+        std::fs::remove_file(&path).unwrap();
+    }
+    std::fs::remove_file(&reference_path).unwrap();
+}
+
+/// An injected journal-append failure at **every** ordinal a clean run
+/// produces surfaces as `ServiceError::Io`, never corrupts the journal's
+/// consistent prefix, and resumes to the byte-identical report.
+#[test]
+fn io_error_at_every_append_ordinal_resumes_byte_identically() {
+    const CELLS: usize = 5;
+    let job = battery(CELLS);
+    let supervisor = Supervisor::new().threads(1).chunk(2);
+    let reference_path = temp_journal("io-sweep-ref");
+    let reference = supervisor.run(&job, &reference_path).unwrap();
+    let reference_render = reference.render(&job);
+
+    // A clean run appends job_started + one cell_completed per cell +
+    // job_finished.
+    let total_appends = (CELLS + 2) as u64;
+    for ordinal in 0..total_appends {
+        let path = temp_journal(&format!("io-sweep-{ordinal}"));
+        let plan = FaultPlan::none().with_io_error(ordinal);
+        let (render, aborts) = run_to_completion(&supervisor, &job, &plan, &path);
+        assert_eq!(aborts, 1, "ordinal {ordinal} must abort exactly once");
+        assert_eq!(render, reference_render, "I/O fault at append {ordinal}");
+        std::fs::remove_file(&path).unwrap();
+    }
+    std::fs::remove_file(&reference_path).unwrap();
+}
+
+/// Panic quarantine composes with kills: a battery with a persistently
+/// panicking cell, killed mid-run, resumes to the same
+/// complete-with-failures report an uninterrupted faulty run produces.
+#[test]
+fn quarantine_survives_a_kill_and_resume() {
+    const CELLS: usize = 6;
+    let job = battery(CELLS);
+    let supervisor = Supervisor::new().threads(2).chunk(2).max_attempts(2);
+    let panics = FaultPlan::none().with_persistent_panic(1, 2);
+
+    let reference_path = temp_journal("quarantine-kill-ref");
+    let reference = supervisor
+        .clone()
+        .fault_plan(panics.clone())
+        .run(&job, &reference_path)
+        .unwrap();
+    assert_eq!(reference.status, JobStatus::CompleteWithFailures);
+
+    let path = temp_journal("quarantine-kill");
+    let plan = panics.with_kill_before(4);
+    let (render, aborts) = run_to_completion(&supervisor, &job, &plan, &path);
+    assert_eq!(aborts, 1);
+    assert_eq!(render, reference.render(&job));
+    assert!(render.contains("QUARANTINED"));
+
+    std::fs::remove_file(&path).unwrap();
+    std::fs::remove_file(&reference_path).unwrap();
+}

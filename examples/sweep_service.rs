@@ -1,0 +1,121 @@
+//! A resumable sweep: the crash-safe job runtime running a real battery.
+//!
+//! Wraps a feasibility-style battery (every catalog algorithm at several
+//! ring sizes) as a [`Job`] and executes it under the [`Supervisor`],
+//! journaling every cell to an append-only JSONL file. Kill the process at
+//! any point — `kill -9` included — and re-run the same command: it
+//! resumes from the journal, re-using every journaled cell, and the final
+//! report is **byte-identical** to the uninterrupted one. That round-trip
+//! is exactly what the CI crash-resume smoke does to this example.
+//!
+//! ```bash
+//! cargo run --release --example sweep_service -- --journal /tmp/sweep.jsonl --report /tmp/report.md
+//! # interrupt it however you like, then run the identical command again
+//! ```
+//!
+//! `--throttle-ms N` slows every cell down (to widen the kill window for
+//! the CI smoke); `--cells N` sizes the battery.
+
+use dynring_core::Algorithm;
+use dynring_service::{Job, JobOutcome, JobStatus, ServiceError, Supervisor};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use dynring_analysis::Scenario;
+
+/// The example battery: every FSYNC catalog algorithm crossed with a range
+/// of ring sizes, in a deterministic order (the same `cells` count always
+/// produces the same job, which is what makes resume possible).
+pub fn battery(cells: usize) -> Job {
+    let algorithms = [
+        |n: usize| Algorithm::KnownBound { upper_bound: n },
+        |_n: usize| Algorithm::LandmarkChirality,
+        |_n: usize| Algorithm::LandmarkNoChirality,
+    ];
+    let scenarios: Vec<Scenario> = (0..cells)
+        .map(|i| {
+            let n = 8 + (i / algorithms.len()) * 2;
+            Scenario::fsync(n, algorithms[i % algorithms.len()](n))
+        })
+        .collect();
+    Job::new("sweep-service-example", scenarios)
+}
+
+/// The example's core path: run (or resume) `job` against `journal`,
+/// writing the rendered report to `report` when given, and returning the
+/// outcome. Resume bookkeeping goes to stderr so the report file stays a
+/// pure function of the cells' terminal states.
+pub fn run(
+    supervisor: &Supervisor,
+    job: &Job,
+    journal: &Path,
+    report: Option<&Path>,
+) -> Result<JobOutcome, ServiceError> {
+    let outcome = supervisor.run(job, journal)?;
+    eprintln!(
+        "job {}: {} ({} of {} cells resumed from {})",
+        outcome.job_id,
+        outcome.status.label(),
+        outcome.resumed,
+        job.len(),
+        journal.display(),
+    );
+    let rendered = outcome.render(job);
+    match report {
+        Some(path) => std::fs::write(path, &rendered).map_err(|source| ServiceError::Io {
+            context: format!("writing report {}", path.display()),
+            source,
+        })?,
+        None => print!("{rendered}"),
+    }
+    Ok(outcome)
+}
+
+fn main() {
+    let mut journal = PathBuf::from("sweep_service.journal.jsonl");
+    let mut report: Option<PathBuf> = None;
+    let mut throttle_ms: u64 = 0;
+    let mut cells: usize = 24;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--journal" => journal = PathBuf::from(value("--journal")),
+            "--report" => report = Some(PathBuf::from(value("--report"))),
+            "--throttle-ms" => {
+                throttle_ms = value("--throttle-ms")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("invalid --throttle-ms: {e}"));
+            }
+            "--cells" => {
+                cells = value("--cells")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("invalid --cells: {e}"));
+            }
+            other => panic!(
+                "unknown argument {other:?} (expected --journal, --report, --throttle-ms, --cells)"
+            ),
+        }
+    }
+
+    let job = battery(cells);
+    let supervisor =
+        Supervisor::new().chunk(4).throttle(Duration::from_millis(throttle_ms));
+    match run(&supervisor, &job, &journal, report.as_deref()) {
+        Ok(outcome) => {
+            if outcome.status == JobStatus::Complete {
+                std::process::exit(0);
+            }
+            // Quarantined or skipped cells: the report says which; signal
+            // the degradation through the exit code.
+            std::process::exit(2);
+        }
+        Err(error) => {
+            eprintln!("sweep service failed: {error}");
+            std::process::exit(1);
+        }
+    }
+}

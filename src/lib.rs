@@ -18,6 +18,7 @@
 //! | [`algorithms`] | `dynring-core` | the paper's algorithms (FSYNC and SSYNC) |
 //! | [`engine`] | `dynring-engine` | round engine, schedulers, adversaries, traces |
 //! | [`analysis`] | `dynring-analysis` | the table/figure experiments |
+//! | [`service`] | `dynring-service` | crash-safe job runtime: journaled, resumable sweeps |
 //!
 //! # Quickstart
 //!
@@ -50,6 +51,7 @@ pub use dynring_core as algorithms;
 pub use dynring_engine as engine;
 pub use dynring_graph as graph;
 pub use dynring_model as model;
+pub use dynring_service as service;
 
 pub mod prelude {
     //! The most commonly used items, re-exported for quick scripting.
@@ -76,4 +78,5 @@ pub mod prelude {
         Decision, Knowledge, LocalDirection, Protocol, Snapshot, SynchronyModel, TerminationKind,
         TransportModel,
     };
+    pub use dynring_service::{FaultPlan, Job, JobOutcome, JobStatus, Supervisor};
 }

@@ -29,6 +29,10 @@ mod worst_case_schedule;
 #[allow(dead_code)]
 mod model_check;
 
+#[path = "../examples/sweep_service.rs"]
+#[allow(dead_code)]
+mod sweep_service;
+
 #[test]
 fn quickstart_explores_and_terminates() {
     let report = quickstart::run(12).expect("quickstart example must succeed");
@@ -95,4 +99,27 @@ fn model_check_rows_hold_at_smoke_scale() {
     // n ≤ 5 keeps the exhaustive search in test-suite territory; the full
     // n ≤ 8 matrix runs in tests/model_check.rs and the CI smoke step.
     assert!(model_check::run(5), "a model-checked Table 1/3 row failed to hold");
+}
+
+#[test]
+fn sweep_service_example_runs_and_resumes_byte_identically() {
+    let job = sweep_service::battery(6);
+    let supervisor = dynring::service::Supervisor::new().threads(2).chunk(2);
+    let journal = std::env::temp_dir()
+        .join(format!("dynring-smoke-sweep-service-{}.jsonl", std::process::id()));
+    let report = std::env::temp_dir()
+        .join(format!("dynring-smoke-sweep-service-{}.md", std::process::id()));
+    let _ = std::fs::remove_file(&journal);
+    let outcome = sweep_service::run(&supervisor, &job, &journal, Some(&report))
+        .expect("sweep service example must succeed");
+    assert_eq!(outcome.completed(), 6);
+    let first = std::fs::read_to_string(&report).unwrap();
+    // Re-running the identical command resumes from the journal and writes
+    // the byte-identical report.
+    let resumed = sweep_service::run(&supervisor, &job, &journal, Some(&report))
+        .expect("resume must succeed");
+    assert_eq!(resumed.resumed, 6);
+    assert_eq!(std::fs::read_to_string(&report).unwrap(), first);
+    std::fs::remove_file(&journal).unwrap();
+    std::fs::remove_file(&report).unwrap();
 }

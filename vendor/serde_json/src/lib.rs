@@ -1,30 +1,669 @@
 //! Offline stub of `serde_json`.
 //!
-//! No workspace code serializes JSON yet; this crate exists so that the
-//! `[workspace.dependencies]` table already carries the name and future code
-//! can depend on it without touching the manifest layout. It offers a tiny
-//! debug-based `to_string` so traces can be dumped in a pinch; swap in the
-//! real `serde_json` (one line in the root `Cargo.toml`) before relying on
-//! the output format.
+//! The build container has no access to crates.io, so this crate provides
+//! the subset of `serde_json` the workspace actually uses:
+//!
+//! * a real [`Value`] tree with a strict recursive-descent parser
+//!   (`"…".parse::<Value>()`, like the real crate's `FromStr` impl) and a
+//!   compact writer (`Value`'s `Display` impl, like the real crate's) — this
+//!   is what the service crate's JSONL journal is built on;
+//! * the legacy Debug-based [`to_string`] shim kept from the original stub
+//!   (not JSON; only for ad-hoc dumps of arbitrary `Debug` types).
+//!
+//! Swapping in the real `serde_json` remains a one-line change in the root
+//! `Cargo.toml`: code that sticks to `Value`'s `FromStr`/`Display`/accessor
+//! surface compiles unchanged against the real crate.
 
 #![forbid(unsafe_code)]
 
 use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::str::FromStr;
 
-/// Error type mirroring `serde_json::Error` (the stub never fails).
+/// The map type backing [`Value::Object`] (the real crate's default map is
+/// also ordered by key).
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// Error raised by the parser (and by the legacy [`to_string`] shim, which
+/// never fails).
 #[derive(Debug)]
-pub struct Error;
+pub struct Error {
+    message: String,
+}
 
-impl std::fmt::Display for Error {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json stub error")
+impl Error {
+    fn new(message: impl Into<String>) -> Self {
+        Error { message: message.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.message)
     }
 }
 
 impl std::error::Error for Error {}
 
-/// Renders a value via its `Debug` impl. Placeholder for
-/// `serde_json::to_string`; the output is *not* JSON.
+/// A JSON number. Integers are kept exact (`u64`/`i64`) rather than routed
+/// through `f64`, because the journal stores round counts and digests that
+/// must survive a round-trip bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number {
+    n: N,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum N {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// The value as a `u64`, if it is a non-negative integer.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.n {
+            N::PosInt(v) => Some(v),
+            N::NegInt(_) | N::Float(_) => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integer in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.n {
+            N::PosInt(v) => i64::try_from(v).ok(),
+            N::NegInt(v) => Some(v),
+            N::Float(_) => None,
+        }
+    }
+
+    /// The value as an `f64` (always succeeds, possibly lossily for huge
+    /// integers).
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.n {
+            N::PosInt(v) => Some(v as f64),
+            N::NegInt(v) => Some(v as f64),
+            N::Float(v) => Some(v),
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.n {
+            N::PosInt(v) => write!(f, "{v}"),
+            N::NegInt(v) => write!(f, "{v}"),
+            N::Float(v) => {
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    // Match serde_json: floats that happen to be integral
+                    // still print a decimal point ("1.0", not "1").
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+impl From<u64> for Number {
+    fn from(v: u64) -> Self {
+        Number { n: N::PosInt(v) }
+    }
+}
+
+impl From<i64> for Number {
+    fn from(v: i64) -> Self {
+        if v >= 0 {
+            Number { n: N::PosInt(v as u64) }
+        } else {
+            Number { n: N::NegInt(v) }
+        }
+    }
+}
+
+impl From<f64> for Number {
+    fn from(v: f64) -> Self {
+        Number { n: N::Float(v) }
+    }
+}
+
+/// A parsed JSON document, mirroring `serde_json::Value`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (ordered by key).
+    Object(Map<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects (`None` for non-objects or missing keys).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if it is one in range.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object, if it is one.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(map) => Some(map),
+            _ => None,
+        }
+    }
+
+    /// Whether the value is `null`.
+    #[must_use]
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::Number(Number::from(v))
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Number(Number::from(v as u64))
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Number(Number::from(u64::from(v)))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Number(Number::from(v))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Number(Number::from(v))
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::String(v)
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Self {
+        Value::Array(v)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Self {
+        Value::Object(v)
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Self {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Value {
+    /// Compact JSON, like the real crate's `Display` for `Value`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => escape_into(f, s),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(map) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in map.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { bytes: input.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::new(format!("{} at byte {}", message.into(), self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", b as char)))
+        }
+    }
+
+    fn expect_literal(&mut self, literal: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected {literal:?}")))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.expect_literal("null", Value::Null),
+            Some(b't') => self.expect_literal("true", Value::Bool(true)),
+            Some(b'f') => self.expect_literal("false", Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected {:?}", other as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            while let Some(b) = self.peek() {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| self.error("invalid UTF-8 in string"))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.error("invalid \\u escape"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not needed by the journal;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(
+                                self.error(format!("invalid escape {:?}", other as char))
+                            )
+                        }
+                    }
+                }
+                Some(_) => return Err(self.error("control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(Value::Number(Number::from(v)));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(Value::Number(Number::from(v)));
+            }
+        }
+        text.parse::<f64>()
+            .map(|v| Value::Number(Number::from(v)))
+            .map_err(|_| self.error(format!("invalid number {text:?}")))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+impl FromStr for Value {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parser = Parser::new(s);
+        let value = parser.parse_value()?;
+        parser.skip_ws();
+        if parser.pos != s.len() {
+            return Err(parser.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+}
+
+/// Renders a value via its `Debug` impl. Legacy placeholder for
+/// `serde_json::to_string` on arbitrary types; the output is *not* JSON.
+/// Prefer building a [`Value`] and using its `Display` impl, which is.
 pub fn to_string<T: Serialize + std::fmt::Debug>(value: &T) -> Result<String, Error> {
     Ok(format!("{value:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: &Value) {
+        let text = v.to_string();
+        let back: Value = text.parse().expect("writer output must parse");
+        assert_eq!(&back, v, "roundtrip through {text}");
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        roundtrip(&Value::Null);
+        roundtrip(&Value::Bool(true));
+        roundtrip(&Value::Bool(false));
+        roundtrip(&Value::from(0u64));
+        roundtrip(&Value::from(u64::MAX));
+        roundtrip(&Value::from(-42i64));
+        roundtrip(&Value::from(i64::MIN));
+        roundtrip(&Value::from(0.25f64));
+        roundtrip(&Value::from("plain"));
+        roundtrip(&Value::from("quotes \" and \\ and \n control \u{1} chars"));
+    }
+
+    #[test]
+    fn collections_roundtrip() {
+        let mut map = Map::new();
+        map.insert("b".into(), Value::from(2u64));
+        map.insert("a".into(), Value::Array(vec![Value::Null, Value::from("x")]));
+        map.insert("nested".into(), Value::Object(Map::new()));
+        roundtrip(&Value::Object(map));
+        roundtrip(&Value::Array(vec![]));
+    }
+
+    #[test]
+    fn u64_precision_is_exact() {
+        let v = Value::from(u64::MAX);
+        assert_eq!(v.to_string(), u64::MAX.to_string());
+        let back: Value = v.to_string().parse().unwrap();
+        assert_eq!(back.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn parser_accepts_whitespace_and_escapes() {
+        let v: Value = " { \"k\" : [ 1 , true , null , \"a\\u0041\" ] } ".parse().unwrap();
+        let items = v.get("k").and_then(Value::as_array).unwrap();
+        assert_eq!(items[0].as_u64(), Some(1));
+        assert_eq!(items[1].as_bool(), Some(true));
+        assert!(items[2].is_null());
+        assert_eq!(items[3].as_str(), Some("aA"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated", "nul"] {
+            assert!(bad.parse::<Value>().is_err(), "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn accessors_are_typed() {
+        let v: Value = "{\"n\":3,\"s\":\"x\",\"f\":1.5,\"neg\":-7}".parse().unwrap();
+        assert_eq!(v.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(v.get("n").unwrap().as_i64(), Some(3));
+        assert_eq!(v.get("neg").unwrap().as_i64(), Some(-7));
+        assert_eq!(v.get("neg").unwrap().as_u64(), None);
+        assert_eq!(v.get("f").unwrap().as_f64(), Some(1.5));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("x"));
+        assert!(v.get("missing").is_none());
+        assert!(Value::Null.get("x").is_none());
+    }
+
+    #[test]
+    fn floats_print_a_decimal_point() {
+        assert_eq!(Value::from(2.0f64).to_string(), "2.0");
+        assert_eq!(Value::from(2.5f64).to_string(), "2.5");
+    }
+
+    #[test]
+    fn legacy_debug_shim_still_works() {
+        assert_eq!(to_string(&42u32).unwrap(), "42");
+    }
 }
