@@ -13,7 +13,7 @@
 //! with one thread runs inline on the caller's thread (no spawn at all), which
 //! is the reference path the equivalence tests compare against.
 
-use crate::scenario::{Scenario, ScenarioRunner};
+use crate::scenario::{Scenario, ScenarioBatchRunner};
 use dynring_engine::sim::RunReport;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -131,7 +131,8 @@ impl BatchRunner {
     /// [`BatchRunner::run_map`] with **per-worker mutable state**: every
     /// worker thread calls `state` once and threads the result through its
     /// share of the inputs. This is what lets a battery hold one recycled
-    /// [`ScenarioRunner`] (and therefore one reusable `Simulation`) per
+    /// [`ScenarioRunner`](crate::scenario::ScenarioRunner) (and therefore
+    /// one reusable `Simulation`) per
     /// thread without any cross-thread sharing; results are still merged in
     /// input order, so the output is identical whatever the thread count.
     ///
@@ -243,15 +244,25 @@ impl BatchRunner {
             .collect()
     }
 
-    /// Runs every scenario and returns the reports in input order. Each
-    /// worker thread drives its share of the battery through one recycled
-    /// [`ScenarioRunner`], so consecutive cells reuse the simulation's
-    /// buffers instead of rebuilding them per run.
+    /// Runs every scenario and returns the reports in input order.
+    ///
+    /// The battery is first partitioned into maximal runs of consecutive
+    /// same-shape cells ([`group_ranges`], capped at
+    /// [`batch_lanes_from_env`] lanes); each group rides the engine's
+    /// batched lockstep path through a per-worker
+    /// [`ScenarioBatchRunner`], and singleton or trace-recording cells fall
+    /// back to the recycled solo simulation inside the same runner. Results
+    /// are merged in input order, so the output is byte-identical to the
+    /// cell-by-cell sequential path whatever the thread or lane count.
     #[must_use]
     pub fn run_reports(&self, scenarios: &[Scenario]) -> Vec<RunReport> {
-        self.run_map_with(scenarios, ScenarioRunner::new, |runner, scenario| {
-            runner.run(scenario)
+        let ranges = group_ranges(scenarios, |s| s, batch_lanes_from_env());
+        self.run_map_with(&ranges, ScenarioBatchRunner::new, |runner, range| {
+            runner.run_group(&scenarios[range.clone()])
         })
+        .into_iter()
+        .flatten()
+        .collect()
     }
 }
 
@@ -284,10 +295,92 @@ pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
     }
 }
 
+/// The default lane cap for batched execution: throughput on the batched
+/// path is flat from ~8 lanes up (the per-lane state already saturates the
+/// cache-resident working set), and 16 keeps groups small enough that a
+/// battery's shape changes don't leave long ragged tails.
+pub const DEFAULT_BATCH_LANES: usize = 16;
+
+/// Parses a `DYNRING_BATCH_LANES`-style value: a positive integer, rejecting
+/// everything else with a human-readable message — the same strict contract
+/// as [`parse_thread_count`]: a typo'd knob must abort loudly, never fall
+/// back silently.
+///
+/// # Errors
+///
+/// Returns the message to show the user when the value is not a positive
+/// integer.
+pub fn parse_batch_lanes(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!(
+            "{trimmed:?} is zero; use a positive lane count (or unset the variable \
+             for the default of {DEFAULT_BATCH_LANES})"
+        )),
+        Ok(lanes) => Ok(lanes),
+        Err(_) => Err(format!(
+            "{raw:?} is not a positive integer lane count (examples: 1, 16)"
+        )),
+    }
+}
+
+/// The lane cap batched execution uses: `DYNRING_BATCH_LANES` if set (a
+/// positive integer), otherwise [`DEFAULT_BATCH_LANES`]. A cap of 1 turns
+/// every cell into a singleton group, i.e. disables the batched path.
+///
+/// # Panics
+///
+/// An unparsable `DYNRING_BATCH_LANES` is a hard error, exactly like
+/// `DYNRING_THREADS` in [`BatchRunner::from_env`].
+#[must_use]
+pub fn batch_lanes_from_env() -> usize {
+    match std::env::var("DYNRING_BATCH_LANES") {
+        Ok(raw) => match parse_batch_lanes(&raw) {
+            Ok(lanes) => lanes,
+            Err(message) => panic!("invalid DYNRING_BATCH_LANES: {message}"),
+        },
+        Err(std::env::VarError::NotPresent) => DEFAULT_BATCH_LANES,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("invalid DYNRING_BATCH_LANES: value is not valid unicode")
+        }
+    }
+}
+
+/// Partitions a battery into maximal runs of **consecutive same-shape
+/// cells** (capped at `max_lanes` per range, clamped to at least 1) — the
+/// unit the batched engine path executes as one `SimBatch` lane group.
+/// Cells that cannot batch (trace recording) come back as singleton ranges.
+/// Concatenating the ranges always reproduces `0..items.len()` in order, so
+/// merging per-range results in input order is output-identical to the
+/// cell-by-cell path.
+#[must_use]
+pub fn group_ranges<T>(
+    items: &[T],
+    scenario_of: impl Fn(&T) -> &Scenario,
+    max_lanes: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let max_lanes = max_lanes.max(1);
+    let mut ranges = Vec::new();
+    let mut start = 0;
+    while start < items.len() {
+        let first = scenario_of(&items[start]);
+        let mut end = start + 1;
+        while end < items.len()
+            && end - start < max_lanes
+            && first.same_batch_shape(scenario_of(&items[end]))
+        {
+            end += 1;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    ranges
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::AdversaryKind;
+    use crate::scenario::{AdversaryKind, ScenarioRunner};
     use dynring_core::Algorithm;
 
     #[test]

@@ -49,5 +49,5 @@ pub mod tables;
 pub use batch::BatchRunner;
 pub use model_check::{ModelCheck, Objective, TableCell, Verdict};
 pub use report::{markdown_table, RowResult};
-pub use scenario::{AdversaryKind, Scenario, ScenarioRunner, SchedulerKind};
+pub use scenario::{AdversaryKind, Scenario, ScenarioBatchRunner, ScenarioRunner, SchedulerKind};
 pub use sweeps::PlacementDensity;

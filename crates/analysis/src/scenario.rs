@@ -17,6 +17,7 @@ use dynring_engine::scheduler::{
     RoundRobinSingle,
 };
 use dynring_engine::sim::{AgentSpec, RunReport, RunSpec, Simulation, StopCondition};
+use dynring_engine::sim_batch::{BatchLane, SimBatch};
 use dynring_engine::trace::Trace;
 use dynring_graph::{AgentId, EdgeId, EdgeSchedule, Handedness, NodeId, RingTopology};
 use dynring_model::SynchronyModel;
@@ -460,6 +461,33 @@ impl Scenario {
             self.adversary.label()
         )
     }
+
+    /// Whether this scenario may ride the batched engine path at all.
+    /// Batched runs never record traces (the engine rejects trace lanes);
+    /// trace cells always run solo.
+    #[must_use]
+    pub fn batchable(&self) -> bool {
+        !self.record_trace
+    }
+
+    /// Whether `self` and `other` can share one [`SimBatch`] lane group.
+    ///
+    /// The engine requires every lane of a batch to agree on ring size, team
+    /// size and synchrony model (and to record no trace), and one batch plays
+    /// all its lanes under a single round budget and stop condition — so
+    /// those must match too. Everything else — algorithm, landmark,
+    /// placements, orientations, scheduler, adversary, dispatch — is per-lane
+    /// state and may differ freely within a group.
+    #[must_use]
+    pub fn same_batch_shape(&self, other: &Scenario) -> bool {
+        self.batchable()
+            && other.batchable()
+            && self.ring_size == other.ring_size
+            && self.starts.len() == other.starts.len()
+            && self.synchrony == other.synchrony
+            && self.max_rounds == other.max_rounds
+            && self.stop == other.stop
+    }
 }
 
 /// A stateful scenario executor that **recycles one [`Simulation`]** across
@@ -538,6 +566,109 @@ impl ScenarioRunner {
         self.spec = Some(spec);
         self.compiled_from = Some(scenario.clone());
         self.sim.as_mut().expect("simulation was just installed")
+    }
+}
+
+/// A stateful executor for **groups** of same-shape scenarios that rides the
+/// engine's batched path ([`SimBatch`]): one group becomes one lane batch,
+/// each lane carrying its own compiled spec and freshly instantiated
+/// policies, and the reports come back in lane order — byte-identical to
+/// running every cell solo (each lane's policies consume their RNG streams
+/// exactly as a solo run would).
+///
+/// Like [`ScenarioRunner`] it caches its last group: re-running an identical
+/// group (the benchmark regime) is a pure [`SimBatch::recycle`] — zero
+/// steady-state heap allocations in the engine — while a different group
+/// reloads fresh lanes into the same buffers. Groups that cannot ride the
+/// batched path — singletons (nothing to step in lockstep) and
+/// trace-recording cells — fall back to an embedded solo [`ScenarioRunner`],
+/// so callers can feed any [`group_ranges`](crate::batch::group_ranges)
+/// partition without special cases.
+#[derive(Debug, Default)]
+pub struct ScenarioBatchRunner {
+    batch: SimBatch,
+    compiled_from: Vec<Scenario>,
+    reports: Vec<RunReport>,
+    solo: ScenarioRunner,
+}
+
+impl ScenarioBatchRunner {
+    /// An empty runner (the first group loads the batch).
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioBatchRunner::default()
+    }
+
+    /// Runs every scenario of the group and returns one report per cell, in
+    /// input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a multi-cell group is not actually same-shape — the
+    /// contract of [`Scenario::same_batch_shape`]; partition arbitrary
+    /// batteries with [`group_ranges`](crate::batch::group_ranges).
+    #[must_use]
+    pub fn run_group(&mut self, group: &[Scenario]) -> Vec<RunReport> {
+        let mut out = Vec::with_capacity(group.len());
+        self.run_group_into(group, &mut out);
+        out
+    }
+
+    /// [`ScenarioBatchRunner::run_group`], appending the reports to `out`.
+    pub fn run_group_into(&mut self, group: &[Scenario], out: &mut Vec<RunReport>) {
+        let produced = self.run_group_reports(group).len();
+        debug_assert_eq!(produced, group.len());
+        // Split borrow dance: `run_group_reports` holds `&mut self`, so copy
+        // out of the buffer afterwards.
+        out.extend_from_slice(&self.reports[..produced]);
+    }
+
+    /// Runs the group and returns the harvested reports as a borrowed slice
+    /// (one per cell, in input order; valid until the next call) — the
+    /// allocation-free rerun path the `sweep_throughput` benchmark measures:
+    /// re-running the identical group recycles the batch and rewrites the
+    /// same report buffers in place, with zero steady-state heap
+    /// allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a multi-cell group is not same-shape, like
+    /// [`ScenarioBatchRunner::run_group`].
+    pub fn run_group_reports(&mut self, group: &[Scenario]) -> &[RunReport] {
+        let b = group.len();
+        let Some(first) = group.first() else { return &[] };
+        if b == 1 || !first.batchable() {
+            if self.reports.len() < b {
+                self.reports.resize_with(b, RunReport::default);
+            }
+            for (index, scenario) in group.iter().enumerate() {
+                self.solo.run_into(scenario, &mut self.reports[index]);
+            }
+            return &self.reports[..b];
+        }
+        assert!(
+            group.iter().all(|s| first.same_batch_shape(s)),
+            "a batched group must be same-shape (see Scenario::same_batch_shape)"
+        );
+        if self.compiled_from.as_slice() == group {
+            self.batch.recycle();
+        } else {
+            let lanes = group
+                .iter()
+                .map(|scenario| BatchLane {
+                    spec: scenario.compile(),
+                    activation: scenario.scheduler.instantiate(),
+                    edges: scenario.adversary.instantiate(),
+                })
+                .collect();
+            self.batch
+                .load(lanes)
+                .expect("a same-shape group satisfies the engine's batch constraints");
+            self.compiled_from.clear();
+            self.compiled_from.extend_from_slice(group);
+        }
+        self.batch.run_into(first.max_rounds, first.stop, &mut self.reports);
+        &self.reports[..b]
     }
 }
 

@@ -6,9 +6,9 @@
 //! these are the quantities the paper's bounds (`3N − 6`, `O(n)`,
 //! `O(n log n)`, `O(N²)`, `O(n²)`) speak about.
 
-use crate::batch::BatchRunner;
+use crate::batch::{batch_lanes_from_env, group_ranges, BatchRunner};
 use crate::report::SweepPoint;
-use crate::scenario::{AdversaryKind, Scenario, ScenarioRunner};
+use crate::scenario::{AdversaryKind, Scenario, ScenarioBatchRunner};
 use dynring_core::fsync::LandmarkNoChirality;
 use dynring_core::Algorithm;
 use dynring_engine::sim::StopCondition;
@@ -236,7 +236,8 @@ fn sweep_battery(
     ssync: bool,
     density: PlacementDensity,
 ) -> SweepOutcome {
-    let mut scenarios: Vec<(usize, Algorithm, Scenario)> = Vec::new();
+    let mut meta: Vec<(usize, Algorithm)> = Vec::new();
+    let mut scenarios: Vec<Scenario> = Vec::new();
     for (size_index, &n) in sizes.iter().enumerate() {
         let algorithm = make_algorithm(n);
         for seed in 0..seeds {
@@ -262,19 +263,28 @@ fn sweep_battery(
                             .with_adversary(adversary.clone())
                             .with_stop(stop)
                             .with_max_rounds(round_budget(&algorithm, n));
-                        scenarios.push((size_index, algorithm, scenario));
+                        meta.push((size_index, algorithm));
+                        scenarios.push(scenario);
                     }
                 }
             }
         }
     }
 
-    // Each worker thread drives its share of the battery through one
-    // recycled simulation (see `ScenarioRunner`): consecutive cells reuse
-    // the SoA/scratch/visited buffers instead of rebuilding them per run.
-    let reports = runner.run_map_with(&scenarios, ScenarioRunner::new, |worker, (_, _, scenario)| {
-        worker.run(scenario)
-    });
+    // Consecutive same-shape cells (the common case: a battery fixes size
+    // and algorithm while rotating adversaries/placements/orientations) ride
+    // the engine's batched lockstep path as one lane group per range; each
+    // worker thread drives its share of the ranges through one recycled
+    // `ScenarioBatchRunner`. Merging in input order keeps the outcome
+    // bit-identical to the solo cell-by-cell path.
+    let ranges = group_ranges(&scenarios, |scenario| scenario, batch_lanes_from_env());
+    let reports: Vec<_> = runner
+        .run_map_with(&ranges, ScenarioBatchRunner::new, |worker, range| {
+            worker.run_group(&scenarios[range.clone()])
+        })
+        .into_iter()
+        .flatten()
+        .collect();
 
     let mut points: Vec<SweepPoint> = sizes
         .iter()
@@ -288,7 +298,7 @@ fn sweep_battery(
         .collect();
     let mut all_explored = true;
     let mut all_terminated = true;
-    for ((size_index, algorithm, _), report) in scenarios.iter().zip(&reports) {
+    for ((size_index, algorithm), report) in meta.iter().zip(&reports) {
         let point = &mut points[*size_index];
         point.runs += 1;
         all_explored &= report.explored();

@@ -12,9 +12,9 @@
 //! ```
 
 use dynring_bench::throughput::{
-    case_json_line, case_rates, dispatch_comparisons, extract_section, fast_mode, hard_gate,
-    measure, measurement_budget, out_path, parse_baseline, regressions, standard_cases, write_document,
-    ThroughputSample,
+    case_json_line, case_rates, dispatch_comparisons, extract_section, fast_mode, filter_cases,
+    hard_gate, measure, measurement_budget, out_path, parse_baseline, regressions, standard_cases,
+    write_document, ThroughputSample,
 };
 
 fn main() {
@@ -30,12 +30,8 @@ fn main() {
     );
     println!("{:<28} {:>14} {:>14}", "case", "rounds", "rounds/sec");
 
-    let filter = std::env::var("DYNRING_BENCH_FILTER").unwrap_or_default();
     let mut samples: Vec<ThroughputSample> = Vec::new();
-    for case in standard_cases() {
-        if !filter.is_empty() && !case.id.contains(&filter) {
-            continue;
-        }
+    for case in filter_cases(standard_cases(), |case| case.id.as_str()) {
         let sample = measure(&case, budget, chunk);
         println!(
             "{:<28} {:>14} {:>14.0}",

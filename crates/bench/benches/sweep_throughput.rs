@@ -1,14 +1,17 @@
 //! Run-lifecycle throughput: **runs per second** in the short-run regime
-//! (n = 64, round budget 4n), measured as fresh-build vs recycled pairs.
+//! (n = 64, round budget 4n), measured as fresh-build vs recycled vs
+//! batched-lockstep triples.
 //!
 //! Where `engine_throughput` measures the round loop, this target measures
 //! everything *around* it — `Scenario::run()`'s per-cell construction of the
 //! ring, agent SoA, scratch, probe pool and boxed policies versus the
 //! recycled lifecycle (`ScenarioRunner` + `Simulation::recycle`), which
-//! re-initialises one simulation in place. It also **counts heap
+//! re-initialises one simulation in place, and versus the batched lockstep
+//! path (`ScenarioBatchRunner` + `SimBatch`), which steps a
+//! `DYNRING_BATCH_LANES`-lane group per generation. It also **counts heap
 //! allocations** through a wrapping global allocator and fails loudly if the
-//! recycled steady state allocates at all, so the zero-allocation claim is
-//! machine-checked on every run, including the CI smoke.
+//! recycled or batched steady state allocates at all, so the zero-allocation
+//! claim is machine-checked on every run, including the CI smoke.
 //!
 //! Results are appended to `BENCH_engine.json` (schema v2, `sweep_cases`
 //! section); the `cases` section owned by `engine_throughput` is preserved
@@ -20,11 +23,12 @@
 //! ```
 
 use dynring_bench::throughput::{
-    extract_section, fast_mode, hard_gate, measure_runs, measurement_budget, out_path, parse_baseline,
-    recycle_comparisons, regressions, sweep_case_scenario, sweep_cases, sweep_json_line,
-    sweep_rates, Lifecycle, SweepSample,
+    batch_comparisons, extract_section, fast_mode, filter_cases, hard_gate, measure_runs,
+    measurement_budget, out_path, parse_baseline, recycle_comparisons, regressions,
+    sweep_case_scenario, sweep_cases, sweep_json_line, sweep_rates, Lifecycle, SweepSample,
 };
-use dynring_analysis::scenario::ScenarioRunner;
+use dynring_analysis::batch::batch_lanes_from_env;
+use dynring_analysis::scenario::{Scenario, ScenarioBatchRunner, ScenarioRunner};
 use dynring_engine::sim::RunReport;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -63,26 +67,46 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
-/// Counts the heap allocations per recycled run in the steady state (after
-/// two warm-up runs that size every buffer) for each recycled case of the
-/// grid. Returns `(case id, allocations per run)` pairs.
+/// Counts the heap allocations per run in the steady state (after two
+/// warm-up iterations that size every buffer) for each recycled **and**
+/// batched case of the grid. A batched generation replays the identical
+/// `DYNRING_BATCH_LANES`-lane group, so its steady state must recycle the
+/// whole batch in place — the per-run quotient divides by `lanes * RUNS`.
+/// Returns `(case id, allocations per run)` pairs.
 fn steady_state_allocations() -> Vec<(String, u64)> {
     const RUNS: u64 = 64;
+    let lanes = batch_lanes_from_env();
     sweep_cases()
         .iter()
-        .filter(|case| case.lifecycle == Lifecycle::Recycled)
+        .filter(|case| case.lifecycle != Lifecycle::Fresh)
         .map(|case| {
             let scenario = sweep_case_scenario(case);
-            let mut runner = ScenarioRunner::new();
-            let mut report = RunReport::default();
-            runner.run_into(&scenario, &mut report);
-            runner.run_into(&scenario, &mut report);
-            let before = ALLOCATIONS.load(Ordering::Relaxed);
-            for _ in 0..RUNS {
-                runner.run_into(&scenario, &mut report);
-            }
-            let delta = ALLOCATIONS.load(Ordering::Relaxed) - before;
-            (case.id.clone(), delta / RUNS)
+            let per_run = match case.lifecycle {
+                Lifecycle::Recycled => {
+                    let mut runner = ScenarioRunner::new();
+                    let mut report = RunReport::default();
+                    runner.run_into(&scenario, &mut report);
+                    runner.run_into(&scenario, &mut report);
+                    let before = ALLOCATIONS.load(Ordering::Relaxed);
+                    for _ in 0..RUNS {
+                        runner.run_into(&scenario, &mut report);
+                    }
+                    (ALLOCATIONS.load(Ordering::Relaxed) - before) / RUNS
+                }
+                Lifecycle::Batched => {
+                    let group: Vec<Scenario> = vec![scenario; lanes];
+                    let mut runner = ScenarioBatchRunner::new();
+                    let _ = runner.run_group_reports(&group);
+                    let _ = runner.run_group_reports(&group);
+                    let before = ALLOCATIONS.load(Ordering::Relaxed);
+                    for _ in 0..RUNS {
+                        let _ = runner.run_group_reports(&group);
+                    }
+                    (ALLOCATIONS.load(Ordering::Relaxed) - before) / (lanes as u64 * RUNS)
+                }
+                Lifecycle::Fresh => unreachable!("filtered out above"),
+            };
+            (case.id.clone(), per_run)
         })
         .collect()
 }
@@ -98,18 +122,17 @@ fn main() {
     );
     println!("{:<52} {:>10} {:>14}", "case", "runs", "runs/sec");
 
-    let filter = std::env::var("DYNRING_BENCH_FILTER").unwrap_or_default();
     let mut samples: Vec<SweepSample> = Vec::new();
-    for case in sweep_cases() {
-        if !filter.is_empty() && !case.id.contains(&filter) {
-            continue;
-        }
+    for case in filter_cases(sweep_cases(), |case| case.id.as_str()) {
         let sample = measure_runs(&case, budget);
         println!("{:<52} {:>10} {:>14.0}", sample.case.id, sample.runs, sample.runs_per_sec);
         samples.push(sample);
     }
 
-    let comparisons = recycle_comparisons(&samples);
+    let comparisons: Vec<String> = recycle_comparisons(&samples)
+        .into_iter()
+        .chain(batch_comparisons(&samples))
+        .collect();
     if !comparisons.is_empty() {
         println!();
         for line in &comparisons {
@@ -118,7 +141,8 @@ fn main() {
     }
 
     // Machine-checked zero-allocation contract: a recycled run of a
-    // shape-stable scenario must not touch the allocator at all.
+    // shape-stable scenario must not touch the allocator at all, and neither
+    // may a batched generation once its lane group is loaded.
     println!();
     let mut dirty = false;
     for (id, allocations_per_run) in steady_state_allocations() {
@@ -127,7 +151,7 @@ fn main() {
     }
     assert!(
         !dirty,
-        "recycled steady state allocated: the run-recycling contract is broken"
+        "recycled/batched steady state allocated: the run-recycling contract is broken"
     );
 
     let path = out_path();

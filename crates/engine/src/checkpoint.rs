@@ -80,6 +80,7 @@ pub struct SimCheckpoint {
     pub(crate) asleep_on_port: Vec<u64>,
     pub(crate) terminated_at: Vec<Option<u64>>,
     pub(crate) agent_visited: Vec<bool>,
+    pub(crate) agent_visited_count: Vec<usize>,
     pub(crate) node_population: Vec<u32>,
     pub(crate) crowded_nodes: usize,
     pub(crate) activation_token: u64,

@@ -7,7 +7,7 @@ use crate::scheduler::ActivationPolicy;
 use crate::trace::{AgentRoundRecord, RoundRecord, Trace};
 use crate::world::{
     build_snapshot, fill_agent_views, fill_round_fsync, predict_action, AgentProgram, AgentSoA,
-    AgentView, ProbePool, RoundView,
+    AgentView, LaneStateMut, ProbePool, RoundView,
 };
 use dynring_graph::{AgentId, EdgeId, GlobalDirection, Handedness, NodeId, RingTopology};
 use dynring_model::{Decision, PriorOutcome, Protocol, SynchronyModel, TransportModel};
@@ -322,6 +322,12 @@ impl RunSpec {
     #[must_use]
     pub fn record_trace(&self) -> bool {
         self.record_trace
+    }
+
+    /// The per-agent specs (start node, handedness, protocol template), in
+    /// team order — the batched engine seeds its lanes from these.
+    pub(crate) fn agent_specs(&self) -> &[AgentSpec] {
+        &self.agents
     }
 
     /// Builds a fresh simulation from this spec with the given policies
@@ -814,149 +820,28 @@ impl Simulation {
             }
         }
 
-        // 4. Resolution: port acquisition in mutual exclusion, then moves.
-        //
-        // The per-agent state is accessed through slices hoisted once per
-        // round: the parallel vectors are re-sliced to the common length so
-        // the indexing below is bounds-check-free, and the virtual protocol
-        // calls cannot force reloads of the (noalias) slice pointers.
+        // 4–6. Resolution (port acquisition in mutual exclusion, then
+        // moves), passive transport, and activation/sleep bookkeeping —
+        // shared verbatim with the batched engine via `resolve_lane`.
         {
             let agent_count = self.agents.len();
-            let agents = &mut self.agents;
-            let node = &mut agents.node[..agent_count];
-            let held_port = &mut agents.held_port[..agent_count];
-            let terminated = &mut agents.terminated[..agent_count];
-            let handedness = &agents.handedness[..agent_count];
-            let prior = &mut agents.prior[..agent_count];
-            let program = &mut agents.program[..agent_count];
-            let moves = &mut agents.moves[..agent_count];
-            let terminated_at = &mut agents.terminated_at[..agent_count];
-            let agent_visited = agents.visited.as_mut_slice();
-            let ring_size = agents.ring_size;
-            let node_population = agents.node_population.as_mut_slice();
-            let crowded_nodes = &mut agents.crowded_nodes;
-            let decisions = &self.scratch.decisions[..agent_count];
-            let global_visited = self.visited.as_mut_slice();
-            let unvisited = &mut self.unvisited;
-            let alive = &mut self.alive;
-            let poll_termination = &agents.poll_termination[..agent_count];
-            let activations = &mut agents.activations[..agent_count];
-            let last_active_round = &mut agents.last_active_round[..agent_count];
-            let asleep_on_port = &mut agents.asleep_on_port[..agent_count];
-            let mut mark_visited = |index: usize, node_index: usize| {
-                if !global_visited[node_index] {
-                    global_visited[node_index] = true;
-                    *unvisited -= 1;
-                }
-                agent_visited[index * ring_size + node_index] = true;
-            };
-            for index in 0..agent_count {
-                let Some(decision) = decisions[index] else { continue };
-                // Under FSYNC every decider was active, so the per-agent
-                // bookkeeping (step 6) folds into this pass; terminated
-                // agents were never activated and their sleep counters are
-                // already zero.
-                if fsync {
-                    activations[index] += 1;
-                    last_active_round[index] = round;
-                    asleep_on_port[index] = 0;
-                }
-                match decision {
-                    Decision::Terminate => {
-                        *alive -= 1;
-                        terminated[index] = true;
-                        terminated_at[index] = Some(round);
-                        held_port[index] = None;
-                        prior[index] = PriorOutcome::Idle;
-                    }
-                    Decision::Stay => {
-                        prior[index] = PriorOutcome::Idle;
-                    }
-                    Decision::Retreat => {
-                        held_port[index] = None;
-                        prior[index] = PriorOutcome::Idle;
-                    }
-                    Decision::Move(ldir) => {
-                        let gdir = crate::world::to_global(handedness[index], ldir);
-                        let at = node[index];
-                        let already_held = held_port[index] == Some(gdir);
-                        if !already_held {
-                            // Release any other port first, then try to
-                            // acquire. The target port must not have been
-                            // held or claimed by anyone else this round
-                            // (mutual exclusion).
-                            held_port[index] = None;
-                            if self.scratch.claimed.contains(&(at, gdir)) {
-                                prior[index] = PriorOutcome::PortAcquisitionFailed;
-                                continue;
-                            }
-                            held_port[index] = Some(gdir);
-                            self.scratch.claimed.push((at, gdir));
-                        }
-                        // Attempt the traversal.
-                        let edge = self.ring.edge_towards(at, gdir);
-                        if missing == Some(edge) {
-                            prior[index] = PriorOutcome::BlockedOnPort;
-                        } else {
-                            let destination = self.ring.neighbor(at, gdir);
-                            node[index] = destination;
-                            held_port[index] = None;
-                            prior[index] = PriorOutcome::Moved;
-                            moves[index] += 1;
-                            AgentSoA::relocate(node_population, crowded_nodes, at, destination);
-                            mark_visited(index, destination.index());
-                        }
-                    }
-                }
-                // A protocol may flag termination without returning
-                // `Terminate` (defensive; none of the paper's algorithms do).
-                if poll_termination[index] && program[index].has_terminated() && !terminated[index] {
-                    *alive -= 1;
-                    terminated[index] = true;
-                    terminated_at[index] = Some(round);
-                    held_port[index] = None;
-                }
-            }
-
-            // 5. Passive transport of sleeping agents (PT model only).
-            if self.synchrony.transport() == Some(TransportModel::PassiveTransport) {
-                let active_mask = &self.scratch.active_mask[..agent_count];
-                for index in 0..agent_count {
-                    if active_mask[index] || terminated[index] {
-                        continue;
-                    }
-                    if let Some(gdir) = held_port[index] {
-                        let at = node[index];
-                        let edge = self.ring.edge_towards(at, gdir);
-                        if missing != Some(edge) {
-                            let destination = self.ring.neighbor(at, gdir);
-                            node[index] = destination;
-                            held_port[index] = None;
-                            prior[index] = PriorOutcome::Transported;
-                            moves[index] += 1;
-                            AgentSoA::relocate(node_population, crowded_nodes, at, destination);
-                            mark_visited(index, destination.index());
-                        }
-                    }
-                }
-            }
-
-            // 6. Bookkeeping: activation ages, sleep counters (FSYNC rounds
-            // folded this into the resolution pass above).
-            if !fsync {
-                let active_mask = &self.scratch.active_mask[..agent_count];
-                for index in 0..agent_count {
-                    if active_mask[index] {
-                        activations[index] += 1;
-                        last_active_round[index] = round;
-                        asleep_on_port[index] = 0;
-                    } else if held_port[index].is_some() {
-                        asleep_on_port[index] += 1;
-                    } else {
-                        asleep_on_port[index] = 0;
-                    }
-                }
-            }
+            let transport_pt = self.synchrony.transport() == Some(TransportModel::PassiveTransport);
+            let lane = self.agents.lane_state_mut(
+                self.visited.as_mut_slice(),
+                &mut self.unvisited,
+                &mut self.alive,
+            );
+            resolve_lane(
+                &self.ring,
+                lane,
+                &self.scratch.decisions[..agent_count],
+                &self.scratch.active_mask[..agent_count],
+                &mut self.scratch.claimed,
+                missing,
+                round,
+                fsync,
+                transport_pt,
+            );
         }
         if self.explored_at.is_none() && self.unvisited == 0 {
             self.explored_at = Some(round);
@@ -1188,6 +1073,7 @@ impl Simulation {
         out.asleep_on_port.clone_from(&agents.asleep_on_port);
         out.terminated_at.clone_from(&agents.terminated_at);
         out.agent_visited.clone_from(&agents.visited);
+        out.agent_visited_count.clone_from(&agents.visited_count);
         out.node_population.clone_from(&agents.node_population);
         out.crowded_nodes = agents.crowded_nodes;
         if out.program.len() == agents.program.len() {
@@ -1236,6 +1122,7 @@ impl Simulation {
         agents.asleep_on_port.clone_from(&cp.asleep_on_port);
         agents.terminated_at.clone_from(&cp.terminated_at);
         agents.visited.clone_from(&cp.agent_visited);
+        agents.visited_count.clone_from(&cp.agent_visited_count);
         agents.node_population.clone_from(&cp.node_population);
         agents.crowded_nodes = cp.crowded_nodes;
         for (dst, src) in agents.program.iter_mut().zip(&cp.program) {
@@ -1244,6 +1131,176 @@ impl Simulation {
             }
         }
         self.activation.restore_state(cp.activation_token);
+    }
+}
+
+/// Resolution phase of one round — steps 4–6 of the round pipeline: port
+/// acquisition in mutual exclusion, traversals against the missing edge,
+/// passive transport of sleeping agents (PT model), and activation/sleep
+/// bookkeeping. `decisions[index]` is `Some` exactly for the agents that ran
+/// Compute this round; `claimed` must already hold every port held at the
+/// start of the round. Shared verbatim between the solo [`Simulation`] and
+/// the batched [`SimBatch`](crate::sim_batch::SimBatch) so both paths
+/// resolve rounds through the same code.
+///
+/// The per-agent state arrives as slices hoisted once per round (via
+/// [`LaneStateMut`]): the parallel vectors are re-sliced to the common
+/// length so the indexing below is bounds-check-free, and the virtual
+/// protocol calls cannot force reloads of the (noalias) slice pointers.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn resolve_lane(
+    ring: &RingTopology,
+    lane: LaneStateMut<'_>,
+    decisions: &[Option<Decision>],
+    active_mask: &[bool],
+    claimed: &mut Vec<(NodeId, GlobalDirection)>,
+    missing: Option<EdgeId>,
+    round: u64,
+    fsync: bool,
+    transport_pt: bool,
+) {
+    let LaneStateMut {
+        node,
+        held_port,
+        terminated,
+        handedness,
+        prior,
+        program,
+        moves,
+        activations,
+        last_active_round,
+        asleep_on_port,
+        terminated_at,
+        poll_termination,
+        agent_visited,
+        visited_count,
+        ring_size,
+        node_population,
+        crowded_nodes,
+        global_visited,
+        unvisited,
+        alive,
+    } = lane;
+    let agent_count = node.len();
+    let decisions = &decisions[..agent_count];
+    let mut mark_visited = |index: usize, node_index: usize| {
+        if !global_visited[node_index] {
+            global_visited[node_index] = true;
+            *unvisited -= 1;
+        }
+        let cell = &mut agent_visited[index * ring_size + node_index];
+        if !*cell {
+            *cell = true;
+            visited_count[index] += 1;
+        }
+    };
+    for index in 0..agent_count {
+        let Some(decision) = decisions[index] else { continue };
+        // Under FSYNC every decider was active, so the per-agent
+        // bookkeeping (step 6) folds into this pass; terminated
+        // agents were never activated and their sleep counters are
+        // already zero.
+        if fsync {
+            activations[index] += 1;
+            last_active_round[index] = round;
+            asleep_on_port[index] = 0;
+        }
+        match decision {
+            Decision::Terminate => {
+                *alive -= 1;
+                terminated[index] = true;
+                terminated_at[index] = Some(round);
+                held_port[index] = None;
+                prior[index] = PriorOutcome::Idle;
+            }
+            Decision::Stay => {
+                prior[index] = PriorOutcome::Idle;
+            }
+            Decision::Retreat => {
+                held_port[index] = None;
+                prior[index] = PriorOutcome::Idle;
+            }
+            Decision::Move(ldir) => {
+                let gdir = crate::world::to_global(handedness[index], ldir);
+                let at = node[index];
+                let already_held = held_port[index] == Some(gdir);
+                if !already_held {
+                    // Release any other port first, then try to
+                    // acquire. The target port must not have been
+                    // held or claimed by anyone else this round
+                    // (mutual exclusion).
+                    held_port[index] = None;
+                    if claimed.contains(&(at, gdir)) {
+                        prior[index] = PriorOutcome::PortAcquisitionFailed;
+                        continue;
+                    }
+                    held_port[index] = Some(gdir);
+                    claimed.push((at, gdir));
+                }
+                // Attempt the traversal.
+                let edge = ring.edge_towards(at, gdir);
+                if missing == Some(edge) {
+                    prior[index] = PriorOutcome::BlockedOnPort;
+                } else {
+                    let destination = ring.neighbor(at, gdir);
+                    node[index] = destination;
+                    held_port[index] = None;
+                    prior[index] = PriorOutcome::Moved;
+                    moves[index] += 1;
+                    AgentSoA::relocate(node_population, crowded_nodes, at, destination);
+                    mark_visited(index, destination.index());
+                }
+            }
+        }
+        // A protocol may flag termination without returning
+        // `Terminate` (defensive; none of the paper's algorithms do).
+        if poll_termination[index] && program[index].has_terminated() && !terminated[index] {
+            *alive -= 1;
+            terminated[index] = true;
+            terminated_at[index] = Some(round);
+            held_port[index] = None;
+        }
+    }
+
+    // 5. Passive transport of sleeping agents (PT model only).
+    if transport_pt {
+        let active_mask = &active_mask[..agent_count];
+        for index in 0..agent_count {
+            if active_mask[index] || terminated[index] {
+                continue;
+            }
+            if let Some(gdir) = held_port[index] {
+                let at = node[index];
+                let edge = ring.edge_towards(at, gdir);
+                if missing != Some(edge) {
+                    let destination = ring.neighbor(at, gdir);
+                    node[index] = destination;
+                    held_port[index] = None;
+                    prior[index] = PriorOutcome::Transported;
+                    moves[index] += 1;
+                    AgentSoA::relocate(node_population, crowded_nodes, at, destination);
+                    mark_visited(index, destination.index());
+                }
+            }
+        }
+    }
+
+    // 6. Bookkeeping: activation ages, sleep counters (FSYNC rounds
+    // folded this into the resolution pass above).
+    if !fsync {
+        let active_mask = &active_mask[..agent_count];
+        for index in 0..agent_count {
+            if active_mask[index] {
+                activations[index] += 1;
+                last_active_round[index] = round;
+                asleep_on_port[index] = 0;
+            } else if held_port[index].is_some() {
+                asleep_on_port[index] += 1;
+            } else {
+                asleep_on_port[index] = 0;
+            }
+        }
     }
 }
 

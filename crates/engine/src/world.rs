@@ -206,6 +206,10 @@ pub(crate) struct AgentSoA {
     /// Cold: per-agent visit maps, flattened row-major
     /// (`agent * ring_size + node`).
     pub visited: Vec<bool>,
+    /// Cold: number of `true` entries in each agent's row of `visited`,
+    /// maintained incrementally by the resolution phase so reports read the
+    /// count in O(1) instead of re-scanning the row.
+    pub visited_count: Vec<usize>,
     /// Ring size (row stride of `visited`).
     pub ring_size: usize,
     /// Number of agents standing on each node (index = node id), maintained
@@ -247,6 +251,7 @@ impl AgentSoA {
         let start = self.visited.len();
         self.visited.resize(start + self.ring_size, false);
         self.visited[start + node.index()] = true;
+        self.visited_count.push(1);
         self.node_population[node.index()] += 1;
         if self.node_population[node.index()] == 2 {
             self.crowded_nodes += 1;
@@ -290,6 +295,8 @@ impl AgentSoA {
         self.program.truncate(count);
         self.visited.clear();
         self.visited.resize(count * ring_size, false);
+        self.visited_count.clear();
+        self.visited_count.resize(count, 1);
         self.node_population.clear();
         self.node_population.resize(ring_size, 0);
         self.crowded_nodes = 0;
@@ -344,10 +351,19 @@ impl AgentSoA {
         AgentId::new(index)
     }
 
-    /// The number of distinct nodes agent `index` has visited.
+    /// The number of distinct nodes agent `index` has visited (maintained
+    /// incrementally; equals the number of `true` entries in the agent's
+    /// row of the visit map).
     pub(crate) fn visited_count(&self, index: usize) -> usize {
-        let row = &self.visited[index * self.ring_size..(index + 1) * self.ring_size];
-        row.iter().filter(|v| **v).count()
+        debug_assert_eq!(
+            self.visited_count[index],
+            self.visited[index * self.ring_size..(index + 1) * self.ring_size]
+                .iter()
+                .filter(|v| **v)
+                .count(),
+            "incremental per-agent visit counter out of sync"
+        );
+        self.visited_count[index]
     }
 
     /// Whether every agent has terminated (a straight pass over one dense
@@ -355,6 +371,126 @@ impl AgentSoA {
     pub(crate) fn all_terminated(&self) -> bool {
         self.terminated.iter().all(|t| *t)
     }
+
+    /// Splits the team into the immutable hot-state [`LaneRef`] plus the
+    /// mutable program slice — the borrow shape shared by the solo round
+    /// loop and the batched engine, so [`fill_round_fsync`] and friends run
+    /// on exactly the same slices either way.
+    #[inline(always)]
+    pub(crate) fn lane_split(&mut self) -> (LaneRef<'_>, &mut [AgentProgram]) {
+        (
+            LaneRef {
+                node: &self.node,
+                held_port: &self.held_port,
+                terminated: &self.terminated,
+                handedness: &self.handedness,
+                prior: &self.prior,
+                last_active_round: &self.last_active_round,
+                asleep_on_port: &self.asleep_on_port,
+                moves: &self.moves,
+                crowded_nodes: self.crowded_nodes,
+            },
+            &mut self.program,
+        )
+    }
+
+    /// Immutable variant of [`AgentSoA::lane_split`].
+    #[inline(always)]
+    pub(crate) fn lane_ref(&self) -> (LaneRef<'_>, &[AgentProgram]) {
+        (
+            LaneRef {
+                node: &self.node,
+                held_port: &self.held_port,
+                terminated: &self.terminated,
+                handedness: &self.handedness,
+                prior: &self.prior,
+                last_active_round: &self.last_active_round,
+                asleep_on_port: &self.asleep_on_port,
+                moves: &self.moves,
+                crowded_nodes: self.crowded_nodes,
+            },
+            &self.program,
+        )
+    }
+
+    /// Borrows the team's complete mutable state as a [`LaneStateMut`] for
+    /// the resolution phase, joined with the run-level visit map and
+    /// liveness counters that live outside the SoA.
+    #[inline(always)]
+    pub(crate) fn lane_state_mut<'a>(
+        &'a mut self,
+        global_visited: &'a mut [bool],
+        unvisited: &'a mut usize,
+        alive: &'a mut usize,
+    ) -> LaneStateMut<'a> {
+        LaneStateMut {
+            node: &mut self.node,
+            held_port: &mut self.held_port,
+            terminated: &mut self.terminated,
+            handedness: &self.handedness,
+            prior: &mut self.prior,
+            program: &mut self.program,
+            moves: &mut self.moves,
+            activations: &mut self.activations,
+            last_active_round: &mut self.last_active_round,
+            asleep_on_port: &mut self.asleep_on_port,
+            terminated_at: &mut self.terminated_at,
+            poll_termination: &self.poll_termination,
+            agent_visited: &mut self.visited,
+            visited_count: &mut self.visited_count,
+            ring_size: self.ring_size,
+            node_population: &mut self.node_population,
+            crowded_nodes: &mut self.crowded_nodes,
+            global_visited,
+            unvisited,
+            alive,
+        }
+    }
+}
+
+/// Borrowed, storage-agnostic view of one run's hot agent state: parallel
+/// slices indexed by agent. The solo [`Simulation`](crate::sim::Simulation)
+/// derives it from its [`AgentSoA`]; the batched engine
+/// ([`SimBatch`](crate::sim_batch::SimBatch)) derives it from one lane's
+/// stride of its run-major flat arrays — both then run the **same** fill,
+/// Look and resolution code, which is what makes the batched path
+/// byte-identical by construction.
+pub(crate) struct LaneRef<'a> {
+    pub node: &'a [NodeId],
+    pub held_port: &'a [Option<GlobalDirection>],
+    pub terminated: &'a [bool],
+    pub handedness: &'a [Handedness],
+    pub prior: &'a [PriorOutcome],
+    pub last_active_round: &'a [u64],
+    pub asleep_on_port: &'a [u64],
+    pub moves: &'a [u64],
+    pub crowded_nodes: usize,
+}
+
+/// Mutable counterpart of [`LaneRef`] for the resolution phase: one run's
+/// complete mutable state (agent slices plus the run-level visit map and
+/// liveness counters), again shared between the solo and batched engines.
+pub(crate) struct LaneStateMut<'a> {
+    pub node: &'a mut [NodeId],
+    pub held_port: &'a mut [Option<GlobalDirection>],
+    pub terminated: &'a mut [bool],
+    pub handedness: &'a [Handedness],
+    pub prior: &'a mut [PriorOutcome],
+    pub program: &'a mut [AgentProgram],
+    pub moves: &'a mut [u64],
+    pub activations: &'a mut [u64],
+    pub last_active_round: &'a mut [u64],
+    pub asleep_on_port: &'a mut [u64],
+    pub terminated_at: &'a mut [Option<u64>],
+    pub poll_termination: &'a [bool],
+    pub agent_visited: &'a mut [bool],
+    pub visited_count: &'a mut [usize],
+    pub ring_size: usize,
+    pub node_population: &'a mut [u32],
+    pub crowded_nodes: &'a mut usize,
+    pub global_visited: &'a mut [bool],
+    pub unvisited: &'a mut usize,
+    pub alive: &'a mut usize,
 }
 
 /// A pool of reusable protocol *probe* instances, one slot per agent.
@@ -524,6 +660,7 @@ impl RoundView<'_> {
 /// post-Compute state. (FSYNC rounds use [`fill_round_fsync`] instead,
 /// which skips the probes entirely.)
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 pub(crate) fn fill_agent_views(
     views: &mut Vec<AgentView>,
     predicted_decisions: &mut Vec<Option<Decision>>,
@@ -534,19 +671,48 @@ pub(crate) fn fill_agent_views(
     fsync: bool,
     predict: bool,
 ) {
+    let (lane, programs) = agents.lane_ref();
+    fill_agent_views_lane(
+        views,
+        predicted_decisions,
+        probes,
+        ring,
+        &lane,
+        programs,
+        round,
+        fsync,
+        predict,
+    );
+}
+
+/// Slice-based body of [`fill_agent_views`], shared with the batched engine
+/// (which passes one lane's stride of its run-major arrays).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn fill_agent_views_lane(
+    views: &mut Vec<AgentView>,
+    predicted_decisions: &mut Vec<Option<Decision>>,
+    probes: &mut ProbePool,
+    ring: &RingTopology,
+    lane: &LaneRef<'_>,
+    programs: &[AgentProgram],
+    round: u64,
+    fsync: bool,
+    predict: bool,
+) {
     predicted_decisions.clear();
-    predicted_decisions.resize(agents.len(), None);
+    predicted_decisions.resize(lane.node.len(), None);
     if predict {
         for (index, slot) in predicted_decisions.iter_mut().enumerate() {
-            if agents.terminated[index] {
+            if lane.terminated[index] {
                 continue;
             }
-            let snapshot = build_snapshot(ring, agents, index, round, fsync);
-            let probe = probes.refresh(index, &agents.program[index]);
+            let snapshot = build_snapshot_lane(ring, lane, index, round, fsync);
+            let probe = probes.refresh(index, &programs[index]);
             *slot = Some(probe.decide(&snapshot));
         }
     }
-    fill_views_from_decisions(views, ring, agents, predicted_decisions, predict);
+    fill_views_from_decisions(views, ring, lane, predicted_decisions, predict);
 }
 
 /// One-pass start of an FSYNC round: refills the agent views, the active set
@@ -558,6 +724,7 @@ pub(crate) fn fill_agent_views(
 /// *is* this round's Compute (see [`fill_agent_views_fsync_predict`]), so the
 /// recorded decisions are reused verbatim by the resolution phase.
 #[allow(clippy::too_many_arguments)]
+#[inline(always)]
 pub(crate) fn fill_round_fsync(
     views: &mut Vec<AgentView>,
     predicted_decisions: &mut Vec<Option<Decision>>,
@@ -569,21 +736,49 @@ pub(crate) fn fill_round_fsync(
     round: u64,
     predict: bool,
 ) {
+    let (lane, programs) = agents.lane_split();
+    fill_round_fsync_lane(
+        views,
+        predicted_decisions,
+        active,
+        active_mask,
+        claimed,
+        ring,
+        &lane,
+        programs,
+        round,
+        predict,
+    );
+}
+
+/// Slice-based body of [`fill_round_fsync`], shared with the batched engine
+/// (which passes one lane's stride of its run-major arrays).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+pub(crate) fn fill_round_fsync_lane(
+    views: &mut Vec<AgentView>,
+    predicted_decisions: &mut Vec<Option<Decision>>,
+    active: &mut Vec<AgentId>,
+    active_mask: &mut Vec<bool>,
+    claimed: &mut Vec<(NodeId, GlobalDirection)>,
+    ring: &RingTopology,
+    lane: &LaneRef<'_>,
+    programs: &mut [AgentProgram],
+    round: u64,
+    predict: bool,
+) {
     views.clear();
     active.clear();
     active_mask.clear();
     claimed.clear();
+    let count = lane.node.len();
     predicted_decisions.clear();
-    predicted_decisions.resize(agents.len(), None);
-    let count = agents.len();
+    predicted_decisions.resize(count, None);
     for (index, predicted_slot) in predicted_decisions.iter_mut().enumerate().take(count) {
-        // Immutable hot slices are re-drawn per iteration (the protocol
-        // borrow below is field-disjoint); `[..count]` keeps the indexing
-        // bounds-check-free.
-        let is_terminated = agents.terminated[index];
-        let node = agents.node[index];
-        let held_port = agents.held_port[index];
-        let handedness = agents.handedness[index];
+        let is_terminated = lane.terminated[index];
+        let node = lane.node[index];
+        let held_port = lane.held_port[index];
+        let handedness = lane.handedness[index];
         active_mask.push(!is_terminated);
         if !is_terminated {
             active.push(AgentId::new(index));
@@ -594,8 +789,8 @@ pub(crate) fn fill_round_fsync(
         let predicted = if is_terminated {
             PredictedAction::Terminate
         } else if predict {
-            let snapshot = build_snapshot(ring, agents, index, round, true);
-            let decision = agents.program[index].decide(&snapshot);
+            let snapshot = build_snapshot_lane(ring, lane, index, round, true);
+            let decision = programs[index].decide(&snapshot);
             *predicted_slot = Some(decision);
             predict_action(ring, node, handedness, decision)
         } else {
@@ -608,9 +803,9 @@ pub(crate) fn fill_round_fsync(
             terminated: is_terminated,
             handedness,
             predicted,
-            last_active_round: agents.last_active_round[index],
-            asleep_on_port: agents.asleep_on_port[index],
-            moves: agents.moves[index],
+            last_active_round: lane.last_active_round[index],
+            asleep_on_port: lane.asleep_on_port[index],
+            moves: lane.moves[index],
         });
     }
 }
@@ -622,19 +817,19 @@ pub(crate) fn fill_round_fsync(
 fn fill_views_from_decisions(
     views: &mut Vec<AgentView>,
     ring: &RingTopology,
-    agents: &AgentSoA,
+    lane: &LaneRef<'_>,
     predicted_decisions: &[Option<Decision>],
     predict: bool,
 ) {
     views.clear();
-    let count = agents.len();
-    let node = &agents.node[..count];
-    let held_port = &agents.held_port[..count];
-    let terminated = &agents.terminated[..count];
-    let handedness = &agents.handedness[..count];
-    let last_active_round = &agents.last_active_round[..count];
-    let asleep_on_port = &agents.asleep_on_port[..count];
-    let moves = &agents.moves[..count];
+    let count = lane.node.len();
+    let node = &lane.node[..count];
+    let held_port = &lane.held_port[..count];
+    let terminated = &lane.terminated[..count];
+    let handedness = &lane.handedness[..count];
+    let last_active_round = &lane.last_active_round[..count];
+    let asleep_on_port = &lane.asleep_on_port[..count];
+    let moves = &lane.moves[..count];
     let predicted_decisions = &predicted_decisions[..count];
     for index in 0..count {
         let predicted = if terminated[index] {
@@ -664,6 +859,7 @@ fn fill_views_from_decisions(
 /// all agents (the paper's Look operation: own position, other agents at the
 /// same node, landmark flag, own previous outcome). The occupancy loop is a
 /// straight pass over the two dense hot slices of the [`AgentSoA`].
+#[inline(always)]
 pub(crate) fn build_snapshot(
     ring: &RingTopology,
     agents: &AgentSoA,
@@ -671,15 +867,28 @@ pub(crate) fn build_snapshot(
     round: u64,
     fsync: bool,
 ) -> Snapshot {
-    let count = agents.len();
-    let node = &agents.node[..count];
-    let held_port = &agents.held_port[..count];
+    let (lane, _) = agents.lane_ref();
+    build_snapshot_lane(ring, &lane, observer, round, fsync)
+}
+
+/// Slice-based body of [`build_snapshot`], shared with the batched engine.
+#[inline(always)]
+pub(crate) fn build_snapshot_lane(
+    ring: &RingTopology,
+    lane: &LaneRef<'_>,
+    observer: usize,
+    round: u64,
+    fsync: bool,
+) -> Snapshot {
+    let count = lane.node.len();
+    let node = &lane.node[..count];
+    let held_port = &lane.held_port[..count];
     let observer_node = node[observer];
-    let observer_handedness = agents.handedness[observer];
+    let observer_handedness = lane.handedness[observer];
     let mut occupancy = NodeOccupancy::default();
     // While no node holds two agents (tracked incrementally), every
     // observer's occupancy is trivially empty and the team scan is skipped.
-    if agents.crowded_nodes > 0 {
+    if lane.crowded_nodes > 0 {
         for index in 0..count {
             if index == observer || node[index] != observer_node {
                 continue;
@@ -693,7 +902,7 @@ pub(crate) fn build_snapshot(
             }
         }
     }
-    let position = match agents.held_port[observer] {
+    let position = match lane.held_port[observer] {
         None => LocalPosition::InNode,
         Some(gdir) => LocalPosition::OnPort(to_local(observer_handedness, gdir)),
     };
@@ -701,7 +910,7 @@ pub(crate) fn build_snapshot(
         position,
         is_landmark: ring.is_landmark(observer_node),
         occupancy,
-        prior: agents.prior[observer],
+        prior: lane.prior[observer],
         round_hint: if fsync { Some(round) } else { None },
     }
 }
