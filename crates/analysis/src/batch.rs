@@ -250,8 +250,9 @@ impl BatchRunner {
     /// same-shape cells ([`group_ranges`], capped at
     /// [`batch_lanes_from_env`] lanes); each group rides the engine's
     /// batched lockstep path through a per-worker
-    /// [`ScenarioBatchRunner`], and singleton or trace-recording cells fall
-    /// back to the recycled solo simulation inside the same runner. Results
+    /// [`ScenarioBatchRunner`], and singleton cells fall back to the
+    /// recycled solo simulation inside the same runner (trace-recording
+    /// cells batch like any other since the columnar trace). Results
     /// are merged in input order, so the output is byte-identical to the
     /// cell-by-cell sequential path whatever the thread or lane count.
     #[must_use]
@@ -348,8 +349,8 @@ pub fn batch_lanes_from_env() -> usize {
 
 /// Partitions a battery into maximal runs of **consecutive same-shape
 /// cells** (capped at `max_lanes` per range, clamped to at least 1) — the
-/// unit the batched engine path executes as one `SimBatch` lane group.
-/// Cells that cannot batch (trace recording) come back as singleton ranges.
+/// unit the batched engine path executes as one `SimBatch` lane group
+/// (trace-recording cells group like any other since the columnar trace).
 /// Concatenating the ranges always reproduces `0..items.len()` in order, so
 /// merging per-range results in input order is output-identical to the
 /// cell-by-cell path.

@@ -463,26 +463,26 @@ impl Scenario {
     }
 
     /// Whether this scenario may ride the batched engine path at all.
-    /// Batched runs never record traces (the engine rejects trace lanes);
-    /// trace cells always run solo.
+    /// Always true since the columnar trace refactor: batched lanes record
+    /// traces through the same flat-append fast path as solo runs, so trace
+    /// cells batch like any other cell (read them back via
+    /// [`ScenarioBatchRunner::trace`]).
     #[must_use]
     pub fn batchable(&self) -> bool {
-        !self.record_trace
+        true
     }
 
     /// Whether `self` and `other` can share one [`SimBatch`] lane group.
     ///
     /// The engine requires every lane of a batch to agree on ring size, team
-    /// size and synchrony model (and to record no trace), and one batch plays
-    /// all its lanes under a single round budget and stop condition — so
-    /// those must match too. Everything else — algorithm, landmark,
-    /// placements, orientations, scheduler, adversary, dispatch — is per-lane
-    /// state and may differ freely within a group.
+    /// size and synchrony model, and one batch plays all its lanes under a
+    /// single round budget and stop condition — so those must match too.
+    /// Everything else — algorithm, landmark, placements, orientations,
+    /// scheduler, adversary, dispatch, trace recording — is per-lane state
+    /// and may differ freely within a group.
     #[must_use]
     pub fn same_batch_shape(&self, other: &Scenario) -> bool {
-        self.batchable()
-            && other.batchable()
-            && self.ring_size == other.ring_size
+        self.ring_size == other.ring_size
             && self.starts.len() == other.starts.len()
             && self.synchrony == other.synchrony
             && self.max_rounds == other.max_rounds
@@ -579,17 +579,20 @@ impl ScenarioRunner {
 /// Like [`ScenarioRunner`] it caches its last group: re-running an identical
 /// group (the benchmark regime) is a pure [`SimBatch::recycle`] — zero
 /// steady-state heap allocations in the engine — while a different group
-/// reloads fresh lanes into the same buffers. Groups that cannot ride the
-/// batched path — singletons (nothing to step in lockstep) and
-/// trace-recording cells — fall back to an embedded solo [`ScenarioRunner`],
-/// so callers can feed any [`group_ranges`](crate::batch::group_ranges)
-/// partition without special cases.
+/// reloads fresh lanes into the same buffers. Singleton groups (nothing to
+/// step in lockstep) fall back to an embedded solo [`ScenarioRunner`], so
+/// callers can feed any [`group_ranges`](crate::batch::group_ranges)
+/// partition without special cases; trace-recording cells batch like any
+/// other cell since the columnar trace refactor, their traces readable per
+/// cell via [`ScenarioBatchRunner::trace`].
 #[derive(Debug, Default)]
 pub struct ScenarioBatchRunner {
     batch: SimBatch,
     compiled_from: Vec<Scenario>,
     reports: Vec<RunReport>,
     solo: ScenarioRunner,
+    /// Whether the last group ran through the solo fallback (singletons).
+    last_solo: bool,
 }
 
 impl ScenarioBatchRunner {
@@ -637,15 +640,15 @@ impl ScenarioBatchRunner {
     pub fn run_group_reports(&mut self, group: &[Scenario]) -> &[RunReport] {
         let b = group.len();
         let Some(first) = group.first() else { return &[] };
-        if b == 1 || !first.batchable() {
-            if self.reports.len() < b {
-                self.reports.resize_with(b, RunReport::default);
+        if b == 1 {
+            self.last_solo = true;
+            if self.reports.is_empty() {
+                self.reports.resize_with(1, RunReport::default);
             }
-            for (index, scenario) in group.iter().enumerate() {
-                self.solo.run_into(scenario, &mut self.reports[index]);
-            }
-            return &self.reports[..b];
+            self.solo.run_into(first, &mut self.reports[0]);
+            return &self.reports[..1];
         }
+        self.last_solo = false;
         assert!(
             group.iter().all(|s| first.same_batch_shape(s)),
             "a batched group must be same-shape (see Scenario::same_batch_shape)"
@@ -669,6 +672,22 @@ impl ScenarioBatchRunner {
         }
         self.batch.run_into(first.max_rounds, first.stop, &mut self.reports);
         &self.reports[..b]
+    }
+
+    /// The trace recorded by cell `index` of the last group, if that cell's
+    /// scenario enabled trace recording — byte-identical to the trace a solo
+    /// run of the same cell would record, whichever path executed it.
+    #[must_use]
+    pub fn trace(&self, index: usize) -> Option<&Trace> {
+        if self.last_solo {
+            if index == 0 {
+                self.solo.trace()
+            } else {
+                None
+            }
+        } else {
+            self.batch.trace(index)
+        }
     }
 }
 

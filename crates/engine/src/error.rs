@@ -35,11 +35,11 @@ pub enum EngineError {
     },
     /// A lane loaded into a [`SimBatch`](crate::sim_batch::SimBatch) does
     /// not match the batch's shape (every lane must share ring size, team
-    /// size and synchrony model, and run trace-off).
+    /// size and synchrony model; trace recording is per lane and may mix).
     BatchMismatch {
         /// Index of the offending lane within the loaded batch.
         lane: usize,
-        /// What differed (e.g. `"ring size"`, `"trace recording"`).
+        /// What differed (e.g. `"ring size"`, `"team size"`).
         what: &'static str,
     },
 }

@@ -60,15 +60,14 @@ pub fn render_round(ring: &RingTopology, record: &RoundRecord) -> String {
 /// most `max_lines` lines).
 #[must_use]
 pub fn render_trace(ring: &RingTopology, trace: &Trace, max_lines: usize) -> String {
-    let rounds = trace.rounds();
-    if rounds.is_empty() {
+    if trace.is_empty() {
         return String::from("(empty trace)");
     }
-    let stride = (rounds.len() / max_lines.max(1)).max(1);
+    let stride = (trace.len() / max_lines.max(1)).max(1);
     let mut out = String::new();
-    for (i, record) in rounds.iter().enumerate() {
-        if i % stride == 0 || i + 1 == rounds.len() {
-            out.push_str(&render_round(ring, record));
+    for (i, record) in trace.rounds().enumerate() {
+        if i % stride == 0 || i + 1 == trace.len() {
+            out.push_str(&render_round(ring, &record));
             out.push('\n');
         }
     }
@@ -145,7 +144,7 @@ mod tests {
     #[test]
     fn round_rendering_contains_agents_landmark_and_missing_edge() {
         let (ring, trace) = sample_trace();
-        let line = render_round(&ring, &trace.rounds()[0]);
+        let line = render_round(&ring, &trace.round_at(0).unwrap());
         assert!(line.contains('A'), "agent 0 in a node: {line}");
         assert!(line.contains('b'), "agent 1 waiting on a port: {line}");
         assert!(line.contains('*'), "landmark marker: {line}");

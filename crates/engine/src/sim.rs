@@ -4,7 +4,7 @@ use crate::adversary::EdgePolicy;
 use crate::checkpoint::SimCheckpoint;
 use crate::error::EngineError;
 use crate::scheduler::ActivationPolicy;
-use crate::trace::{AgentRoundRecord, RoundRecord, Trace};
+use crate::trace::Trace;
 use crate::world::{
     build_snapshot, fill_agent_views, fill_round_fsync, predict_action, AgentProgram, AgentSoA,
     AgentView, LaneStateMut, ProbePool, RoundView,
@@ -847,32 +847,26 @@ impl Simulation {
             self.explored_at = Some(round);
         }
 
-        // 7. Trace recording (the only step that may allocate: the records
-        // are owned by the trace, not by the scratch).
-        if self.trace.is_some() {
-            let visited_count = self.visited_count();
-            let records: Vec<AgentRoundRecord> = (0..self.agents.len())
-                .map(|index| AgentRoundRecord {
-                    id: self.agents.id(index),
-                    active: self.scratch.active_mask[index],
-                    node_before: self.scratch.nodes_before[index],
-                    node_after: self.agents.node[index],
-                    held_port_after: self.agents.held_port[index],
-                    decision: self.scratch.decisions[index],
-                    outcome: self.agents.prior[index],
-                    terminated: self.agents.terminated[index],
-                    state_label: self.agents.program[index].state_label(),
-                })
-                .collect();
-            if let Some(trace) = self.trace.as_mut() {
-                trace.push(RoundRecord {
-                    round,
-                    missing_edge: missing,
-                    active: self.scratch.active.clone(),
-                    agents: records,
-                    visited_count,
-                });
-            }
+        // 7. Trace recording: flat columnar appends straight from the round
+        // slices (allocation-free in the recycled steady state; see
+        // `Trace::record_round_from_lane`).
+        let visited_count = self.ring.size() - self.unvisited;
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record_round_from_lane(
+                round,
+                missing,
+                visited_count,
+                self.ring.size(),
+                &self.scratch.active,
+                &self.scratch.active_mask,
+                &self.scratch.nodes_before,
+                &self.agents.node,
+                &self.agents.held_port,
+                &self.scratch.decisions,
+                &self.agents.prior,
+                &self.agents.terminated,
+                &self.agents.program,
+            );
         }
         true
     }
@@ -1129,6 +1123,11 @@ impl Simulation {
             if !dst.clone_from_program(src) {
                 *dst = src.clone_program();
             }
+        }
+        if let Some(trace) = self.trace.as_mut() {
+            // Program state just changed outside `decide` — the one event the
+            // trace's label delta encoding cannot observe.
+            trace.invalidate_label_cache();
         }
         self.activation.restore_state(cp.activation_token);
     }
@@ -1418,7 +1417,7 @@ mod tests {
             Box::new(NoRemoval),
         );
         assert!(sim.step());
-        let record = &sim.trace().unwrap().rounds()[0];
+        let record = sim.trace().unwrap().round_at(0).unwrap();
         let outcomes: Vec<PriorOutcome> = record.agents.iter().map(|a| a.outcome).collect();
         assert!(outcomes.contains(&PriorOutcome::Moved));
         assert!(outcomes.contains(&PriorOutcome::PortAcquisitionFailed));

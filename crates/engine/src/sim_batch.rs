@@ -23,6 +23,11 @@
 //! [`RoundView`], as in a solo run, so seeded policies consume their RNG
 //! draws identically and the harvested [`RunReport`]s are byte-identical to
 //! sequential execution (`tests/batch_lockstep_equivalence.rs` pins this).
+//! Lanes whose spec records a trace append into a per-lane columnar
+//! [`Trace`] through the same `record_round_from_lane` fast path as the
+//! solo step, so batched traces (read back via [`SimBatch::trace`]) are
+//! byte-identical to solo traces as well — trace cells no longer need to
+//! fall back to solo execution.
 //!
 //! # Compaction and recycling
 //!
@@ -39,6 +44,7 @@ use crate::adversary::EdgePolicy;
 use crate::error::EngineError;
 use crate::scheduler::ActivationPolicy;
 use crate::sim::{resolve_lane, RunReport, RunSpec, StopCondition, StopReason};
+use crate::trace::Trace;
 use crate::world::{
     build_snapshot_lane, fill_agent_views_lane, predict_action, to_global, to_local, AgentProgram, PredictedAction,
     AgentSoA, AgentView, LaneRef, LaneStateMut, ProbePool, RoundView,
@@ -80,6 +86,8 @@ struct LaneScratch {
     active_mask: Vec<bool>,
     claimed: Vec<(NodeId, GlobalDirection)>,
     probes: ProbePool,
+    /// Node of each agent at the start of the round (trace recording only).
+    nodes_before: Vec<NodeId>,
 }
 
 /// A batch of B same-shape runs stepped in lockstep (see the [module
@@ -136,6 +144,15 @@ pub struct SimBatch {
     fdecisions: Vec<Decision>,
     factive: Vec<AgentId>,
     fclaimed: Vec<(NodeId, GlobalDirection)>,
+    // Flat FSYNC trace scratch, stride `agent_count` — written only for
+    // trace-recording lanes (the fused round keeps plain `Decision`s and no
+    // activity mask, so the trace's solo-shaped inputs are staged here).
+    fnodes_before: Vec<NodeId>,
+    factive_mask: Vec<bool>,
+    fdecisions_opt: Vec<Option<Decision>>,
+    /// Per-lane recorded traces (`None` for lanes whose spec runs
+    /// trace-off); columnar flat appends, recycled capacity-intact.
+    traces: Vec<Option<Trace>>,
     /// Per-lane scratch of the SSYNC path (live policy state machines need
     /// the solo round shape; see `step_round_ssync`).
     lane_scratch: Vec<LaneScratch>,
@@ -179,6 +196,14 @@ struct FsyncLane<'x> {
     visited: &'x mut [bool],
     population: &'x mut [u32],
     avisited: &'x mut [bool],
+    /// The lane's trace, when its spec records one. The fused round keeps
+    /// plain `Decision`s and no activity mask, so `tnodes`/`tmask`/`tdec`
+    /// stage the solo-shaped record inputs; they are written only while
+    /// `trace` is `Some`.
+    trace: Option<&'x mut Trace>,
+    tnodes: &'x mut [NodeId],
+    tmask: &'x mut [bool],
+    tdec: &'x mut [Option<Decision>],
     crowded: usize,
     alive: usize,
     unvisited: usize,
@@ -227,6 +252,15 @@ impl FsyncLane<'_> {
     fn round(&mut self, a: usize, n: usize, predict: bool) {
         self.r += 1;
         let r = self.r;
+        // Start-of-round snapshot for the trace (trace-only work): under
+        // FSYNC the active set is exactly the agents live at the start of
+        // the round, and every one of them decides.
+        if self.trace.is_some() {
+            self.tnodes.copy_from_slice(self.node);
+            for index in 0..a {
+                self.tmask[index] = !self.term[index];
+            }
+        }
         // Compute-on-fill (predict tier): the dry run *is* this round's
         // Compute under FSYNC, so run every live agent's protocol first,
         // keeping only the decide inputs live across the opaque calls.
@@ -395,6 +429,29 @@ impl FsyncLane<'_> {
         if self.explored.is_none() && self.unvisited == 0 {
             self.explored = Some(r);
         }
+        // Trace recording: the same columnar flat appends as the solo step,
+        // fed from the staged solo-shaped inputs (`Option` decisions exist
+        // exactly for the agents active at the start of the round).
+        if let Some(trace) = self.trace.as_mut() {
+            for index in 0..a {
+                self.tdec[index] = if self.tmask[index] { Some(self.dec[index]) } else { None };
+            }
+            trace.record_round_from_lane(
+                r,
+                missing,
+                n - self.unvisited,
+                n,
+                &self.act[..active_len],
+                self.tmask,
+                self.tnodes,
+                self.node,
+                self.held,
+                self.tdec,
+                self.prior,
+                self.term,
+                self.prog,
+            );
+        }
     }
 }
 
@@ -501,6 +558,15 @@ impl SimBatch {
         self.specs.is_empty()
     }
 
+    /// The recorded trace of lane `lane` — `Some` once the lane has run iff
+    /// its spec enabled trace recording. The trace is byte-identical to the
+    /// one a solo [`Simulation`](crate::sim::Simulation) of the same
+    /// spec/policies would record (`tests/batch_lockstep_equivalence.rs`).
+    #[must_use]
+    pub fn trace(&self, lane: usize) -> Option<&Trace> {
+        self.traces.get(lane).and_then(Option::as_ref)
+    }
+
     /// Loads a group of lanes, replacing any previous group while reusing
     /// every buffer, and rewinds the batch to round zero (an implicit
     /// [`recycle`](SimBatch::recycle)).
@@ -509,8 +575,10 @@ impl SimBatch {
     ///
     /// [`EngineError::NoAgents`] for an empty group;
     /// [`EngineError::BatchMismatch`] when a lane's ring size, team size or
-    /// synchrony model differs from lane 0's, or when a lane requests trace
-    /// recording (batched runs never record traces — run trace cells solo).
+    /// synchrony model differs from lane 0's. Trace recording is per lane
+    /// (any mix of trace-on and trace-off lanes batches fine): a lane whose
+    /// spec records a trace fills it during the run, readable via
+    /// [`trace`](SimBatch::trace) after [`run_into`](SimBatch::run_into).
     pub fn load(&mut self, lanes: Vec<BatchLane>) -> Result<(), EngineError> {
         let Some(first) = lanes.first() else {
             return Err(EngineError::NoAgents);
@@ -527,9 +595,6 @@ impl SimBatch {
             }
             if lane.spec.synchrony() != synchrony {
                 return Err(EngineError::BatchMismatch { lane: index, what: "synchrony model" });
-            }
-            if lane.spec.record_trace() {
-                return Err(EngineError::BatchMismatch { lane: index, what: "trace recording" });
             }
         }
         let b = lanes.len();
@@ -581,6 +646,13 @@ impl SimBatch {
         refit(&mut self.fviews, b * a, filler);
         refit(&mut self.fdecisions, b * a, Decision::Stay);
         refit(&mut self.factive, b * a, AgentId::new(0));
+        refit(&mut self.fnodes_before, b * a, NodeId::new(0));
+        refit(&mut self.factive_mask, b * a, false);
+        refit(&mut self.fdecisions_opt, b * a, None);
+        // Keep surviving lanes' trace allocations so a trace-on lane of the
+        // next group recycles capacity-intact; `recycle` toggles per lane.
+        self.traces.truncate(b);
+        self.traces.resize_with(b, || None);
         // An agent can contribute two claim entries in one round (the port
         // it held at the start plus a newly acquired one), hence stride 2A.
         refit(&mut self.fclaimed, b * 2 * a, (NodeId::new(0), GlobalDirection::Cw));
@@ -669,6 +741,13 @@ impl SimBatch {
             self.unvisited[lane] = n - start_nodes;
             self.activation[lane].reset();
             self.edges[lane].reset();
+            // Same toggle as the solo recycle: clearing keeps the columns'
+            // capacity, so a recycled trace-on lane records allocation-free.
+            match (&mut self.traces[lane], spec.record_trace()) {
+                (Some(trace), true) => trace.clear(),
+                (slot @ None, true) => *slot = Some(Trace::new()),
+                (slot, false) => *slot = None,
+            }
         }
         self.active_lanes.clear();
         self.active_lanes.extend(0..b);
@@ -847,6 +926,10 @@ impl SimBatch {
             fdecisions,
             factive,
             fclaimed,
+            fnodes_before,
+            factive_mask,
+            fdecisions_opt,
+            traces,
             ..
         } = self;
         let mut hot = FsyncLane {
@@ -872,6 +955,10 @@ impl SimBatch {
             visited: &mut visited[lane * n..lane * n + n],
             population: &mut node_population[lane * n..lane * n + n],
             avisited: &mut agent_visited[base * n..base * n + a * n],
+            trace: traces[lane].as_mut(),
+            tnodes: &mut fnodes_before[base..base + a],
+            tmask: &mut factive_mask[base..base + a],
+            tdec: &mut fdecisions_opt[base..base + a],
             crowded: crowded_nodes[lane],
             alive: alive[lane],
             unvisited: unvisited[lane],
@@ -949,6 +1036,10 @@ impl SimBatch {
             fdecisions,
             factive,
             fclaimed,
+            fnodes_before,
+            factive_mask,
+            fdecisions_opt,
+            traces,
             ..
         } = self;
         let (edges0, edges1) = edges[lane..lane + 2].split_at_mut(1);
@@ -972,6 +1063,10 @@ impl SimBatch {
         let (visited0, visited1) = visited[lane * n..(lane + 2) * n].split_at_mut(n);
         let (pop0, pop1) = node_population[lane * n..(lane + 2) * n].split_at_mut(n);
         let (av0, av1) = agent_visited[base * n..base * n + 2 * a * n].split_at_mut(a * n);
+        let (tn0, tn1) = fnodes_before[base..base + 2 * a].split_at_mut(a);
+        let (tm0, tm1) = factive_mask[base..base + 2 * a].split_at_mut(a);
+        let (td0, td1) = fdecisions_opt[base..base + 2 * a].split_at_mut(a);
+        let (trace0, trace1) = traces[lane..lane + 2].split_at_mut(1);
         let mut h0 = FsyncLane {
             ring: &rings[lane],
             edges: &mut edges0[0],
@@ -995,6 +1090,10 @@ impl SimBatch {
             visited: visited0,
             population: pop0,
             avisited: av0,
+            trace: trace0[0].as_mut(),
+            tnodes: tn0,
+            tmask: tm0,
+            tdec: td0,
             crowded: crowded_nodes[lane],
             alive: alive[lane],
             unvisited: unvisited[lane],
@@ -1024,6 +1123,10 @@ impl SimBatch {
             visited: visited1,
             population: pop1,
             avisited: av1,
+            trace: trace1[0].as_mut(),
+            tnodes: tn1,
+            tmask: tm1,
+            tdec: td1,
             crowded: crowded_nodes[lane + 1],
             alive: alive[lane + 1],
             unvisited: unvisited[lane + 1],
@@ -1105,6 +1208,7 @@ impl SimBatch {
             alive,
             explored_at,
             transport_pt,
+            traces,
             ..
         } = self;
         for &lane in active_lanes.iter() {
@@ -1174,6 +1278,11 @@ impl SimBatch {
             scratch.active_mask.resize(a, false);
             for id in &scratch.active {
                 scratch.active_mask[id.index()] = true;
+            }
+            // Keep the start-of-round nodes for the trace (trace-only work).
+            if traces[lane].is_some() {
+                scratch.nodes_before.clear();
+                scratch.nodes_before.extend_from_slice(&node[lane * a..][..a]);
             }
             // Deferred predictions (omniscient edge policy, non-predicting
             // scheduler): actives decide on the live protocols, sleepers
@@ -1308,6 +1417,25 @@ impl SimBatch {
             );
             if explored_at[lane].is_none() && unvisited[lane] == 0 {
                 explored_at[lane] = Some(r);
+            }
+            // Trace recording: identical columnar appends to the solo step
+            // (the scratch already carries the solo-shaped round inputs).
+            if let Some(trace) = traces[lane].as_mut() {
+                trace.record_round_from_lane(
+                    r,
+                    lane_missing,
+                    n - unvisited[lane],
+                    n,
+                    &scratch.active,
+                    &scratch.active_mask[..a],
+                    &scratch.nodes_before,
+                    &node[lane * a..][..a],
+                    &held_port[lane * a..][..a],
+                    &scratch.decisions[..a],
+                    &prior[lane * a..][..a],
+                    &terminated[lane * a..][..a],
+                    &program[lane * a..][..a],
+                );
             }
         }
     }

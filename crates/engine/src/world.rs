@@ -345,12 +345,6 @@ impl AgentSoA {
         self.node.len()
     }
 
-    /// The simulator identifier of agent `index`.
-    pub(crate) fn id(&self, index: usize) -> AgentId {
-        debug_assert!(index < self.len());
-        AgentId::new(index)
-    }
-
     /// The number of distinct nodes agent `index` has visited (maintained
     /// incrementally; equals the number of `true` entries in the agent's
     /// row of the visit map).

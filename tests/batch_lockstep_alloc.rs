@@ -56,16 +56,24 @@ fn batched_steady_state_allocates_nothing() {
     let n = 16;
     // Lanes differ in adversary and placement — a realistic mixed group, not
     // just B copies of one cell — and terminate at different rounds, so the
-    // harvest/compaction path is inside the measured window too.
+    // harvest/compaction path is inside the measured window too. Every third
+    // lane records a trace: the columnar trace clears capacity-intact on
+    // recycle, so trace-on lanes are held to the same zero-allocation
+    // steady state as trace-off ones.
     let group: Vec<Scenario> = (0..8u64)
         .map(|lane| {
-            Scenario::fsync(n, Algorithm::KnownBound { upper_bound: n })
+            let scenario = Scenario::fsync(n, Algorithm::KnownBound { upper_bound: n })
                 .with_starts(vec![lane as usize % n, (3 * lane as usize + 1) % n])
                 .with_adversary(if lane % 2 == 0 {
                     AdversaryKind::Static
                 } else {
                     AdversaryKind::Random { p: 0.7, seed: lane }
-                })
+                });
+            if lane % 3 == 0 {
+                scenario.with_trace()
+            } else {
+                scenario
+            }
         })
         .collect();
 
@@ -85,4 +93,7 @@ fn batched_steady_state_allocates_nothing() {
         delta, 0,
         "batched steady state allocated {delta} times over {GENERATIONS} generations"
     );
+    // Sanity: the zero-allocation window really recorded traces where asked.
+    assert!(runner.trace(0).is_some_and(|trace| !trace.is_empty()), "lane 0 lost its trace");
+    assert!(runner.trace(1).is_none(), "lane 1 recorded without asking");
 }

@@ -16,6 +16,9 @@
 //! `batch_lockstep_alloc.rs`: it needs a counting global allocator, which
 //! only yields deterministic readings in a single-test binary.
 
+mod common;
+
+use common::{fnv, golden_scenarios};
 use dynring_analysis::batch::{group_ranges, BatchRunner};
 use dynring_analysis::scenario::{AdversaryKind, Scenario, ScenarioBatchRunner};
 use dynring_analysis::sweeps::{adversary_suite, start_placements};
@@ -121,8 +124,9 @@ fn placement_mixes_batch_identically() {
 
 /// A shape-heterogeneous battery (different ring sizes, synchrony models and
 /// a trace-recording cell) splits into groups such that batched execution is
-/// still byte-identical — trace cells and shape changes fall back to solo /
-/// fresh groups without disturbing their neighbours.
+/// still byte-identical — shape changes open fresh groups without disturbing
+/// their neighbours, while trace cells batch with their shape-mates (the
+/// columnar trace records on the batched path).
 #[test]
 fn mixed_shape_battery_groups_and_matches() {
     let scenarios = vec![
@@ -134,15 +138,126 @@ fn mixed_shape_battery_groups_and_matches() {
         Scenario::ssync(6, Algorithm::PtLandmarkChirality, 4),
         Scenario::fsync(6, Algorithm::LandmarkChirality),
     ];
-    // The trace cell is unbatchable: it must sit in a singleton group.
+    // The trace cell shares its neighbours' shape, so it batches with them
+    // instead of sitting in a singleton group.
     let ranges = group_ranges(&scenarios, |scenario| scenario, 64);
-    assert!(ranges.contains(&(2..3)), "trace cell not isolated: {ranges:?}");
+    assert!(ranges.contains(&(0..3)), "trace cell not batched with its shape-mates: {ranges:?}");
     let reference = sequential(&scenarios);
     for cap in LANE_CAPS {
         assert_eq!(batched_with_cap(&scenarios, cap), reference, "lane cap {cap}");
     }
     // The public parallel executor rides the same grouping.
     assert_eq!(BatchRunner::sequential().run_reports(&scenarios), reference);
+}
+
+/// Digest of one cell's full `(RunReport, Trace)` execution record from a
+/// fresh solo simulation — the same rendering `tests/determinism.rs` pins.
+fn solo_trace_digest(scenario: &Scenario) -> u64 {
+    let mut sim = scenario.build();
+    let report = sim.run(scenario.max_rounds, scenario.stop);
+    let trace = sim.trace().expect("trace-on cell records a trace");
+    fnv(&format!("{report:?}|{trace:?}"))
+}
+
+/// Batched per-cell `(RunReport, Trace)` digests at lane cap `cap`. Each
+/// group's traces are read back before the runner loads the next group
+/// (loading reuses the lane buffers, so traces only live until then).
+fn batched_trace_digests(scenarios: &[Scenario], cap: usize) -> Vec<u64> {
+    let mut runner = ScenarioBatchRunner::new();
+    let mut out = Vec::with_capacity(scenarios.len());
+    let mut reports = Vec::new();
+    for range in group_ranges(scenarios, |scenario| scenario, cap) {
+        reports.clear();
+        runner.run_group_into(&scenarios[range], &mut reports);
+        for (index, report) in reports.iter().enumerate() {
+            let trace =
+                runner.trace(index).expect("trace-on cell records on the batched path");
+            out.push(fnv(&format!("{report:?}|{trace:?}")));
+        }
+    }
+    out
+}
+
+/// Trace-on cells across the full catalogue and adversary suite: at every
+/// lane cap the batched traces digest identically to fresh solo runs —
+/// recording on the batched path is observably the same columnar append
+/// stream as the solo step.
+#[test]
+fn trace_on_cells_batch_byte_identically_at_every_lane_cap() {
+    let n = 7;
+    for algorithm in catalogue(n) {
+        let scenarios: Vec<Scenario> = adversary_suite(n, 11)
+            .into_iter()
+            .map(|adversary| {
+                natural_scenario(n, algorithm, 11).with_adversary(adversary).with_trace()
+            })
+            .collect();
+        let reference: Vec<u64> = scenarios.iter().map(solo_trace_digest).collect();
+        for cap in LANE_CAPS {
+            assert_eq!(
+                batched_trace_digests(&scenarios, cap),
+                reference,
+                "{algorithm:?} traces diverged at lane cap {cap}"
+            );
+        }
+    }
+}
+
+/// Mixed trace-on/trace-off lanes inside one group: recording stays strictly
+/// per lane (off-lanes expose no trace), the reports still match solo, and
+/// the traced lanes digest identically to their solo runs.
+#[test]
+fn mixed_trace_lanes_record_only_where_enabled() {
+    let n = 8;
+    let scenarios: Vec<Scenario> = adversary_suite(n, 5)
+        .into_iter()
+        .enumerate()
+        .map(|(index, adversary)| {
+            let scenario = Scenario::fsync(n, Algorithm::KnownBound { upper_bound: n })
+                .with_adversary(adversary);
+            if index % 2 == 0 {
+                scenario.with_trace()
+            } else {
+                scenario
+            }
+        })
+        .collect();
+    let reference = sequential(&scenarios);
+    let mut runner = ScenarioBatchRunner::new();
+    let reports = runner.run_group(&scenarios);
+    assert_eq!(reports, reference);
+    for (index, scenario) in scenarios.iter().enumerate() {
+        match runner.trace(index) {
+            Some(trace) => {
+                assert!(scenario.record_trace, "lane {index} recorded without asking");
+                let digest = fnv(&format!("{:?}|{trace:?}", reports[index]));
+                assert_eq!(digest, solo_trace_digest(scenario), "lane {index}");
+            }
+            None => assert!(!scenario.record_trace, "lane {index} lost its trace"),
+        }
+    }
+}
+
+/// The pinned pre-refactor golden digests, reproduced through the *batched*
+/// engine path: each golden scenario is doubled into a two-lane group (so it
+/// cannot ride the solo fallback) and both lanes must digest to the pinned
+/// value.
+#[test]
+fn batched_trace_lanes_reproduce_the_pinned_golden_digests() {
+    for (name, scenario, expected) in golden_scenarios() {
+        let group = vec![scenario.clone(), scenario];
+        let mut runner = ScenarioBatchRunner::new();
+        let reports = runner.run_group(&group);
+        for (index, report) in reports.iter().enumerate() {
+            let trace = runner.trace(index).expect("golden scenarios record traces");
+            let digest = fnv(&format!("{report:?}|{trace:?}"));
+            assert_eq!(
+                digest, expected,
+                "{name} lane {index}: batched execution drifted from the \
+                 pre-refactor engine (got {digest:#018x}, pinned {expected:#018x})"
+            );
+        }
+    }
 }
 
 proptest! {
