@@ -302,17 +302,22 @@ pub fn parse_thread_count(raw: &str) -> Result<usize, String> {
 /// battery's shape changes don't leave long ragged tails.
 pub const DEFAULT_BATCH_LANES: usize = 16;
 
-/// Parses a `DYNRING_BATCH_LANES`-style value: a positive integer, rejecting
-/// everything else with a human-readable message — the same strict contract
-/// as [`parse_thread_count`]: a typo'd knob must abort loudly, never fall
-/// back silently.
+/// Parses a `DYNRING_BATCH_LANES`-style value: a positive integer or the
+/// literal `solo` (= 1, turning every cell into a singleton group and thereby
+/// forcing the recycled solo path for every shape), rejecting everything else
+/// with a human-readable message — the same strict contract as
+/// [`parse_thread_count`]: a typo'd knob must abort loudly, never fall back
+/// silently.
 ///
 /// # Errors
 ///
 /// Returns the message to show the user when the value is not a positive
-/// integer.
+/// integer or `solo`.
 pub fn parse_batch_lanes(raw: &str) -> Result<usize, String> {
     let trimmed = raw.trim();
+    if trimmed == "solo" {
+        return Ok(1);
+    }
     match trimmed.parse::<usize>() {
         Ok(0) => Err(format!(
             "{trimmed:?} is zero; use a positive lane count (or unset the variable \
@@ -320,7 +325,8 @@ pub fn parse_batch_lanes(raw: &str) -> Result<usize, String> {
         )),
         Ok(lanes) => Ok(lanes),
         Err(_) => Err(format!(
-            "{raw:?} is not a positive integer lane count (examples: 1, 16)"
+            "{raw:?} is not a positive integer lane count, or the literal \"solo\" \
+             (examples: 1, 16, solo)"
         )),
     }
 }
@@ -431,6 +437,21 @@ mod tests {
         assert_eq!(parse_thread_count(" 16 "), Ok(16));
         for bad in ["8x", "0", "-2", "", "all", "3.5"] {
             let err = parse_thread_count(bad).unwrap_err();
+            assert!(
+                err.contains("positive") || err.contains("zero"),
+                "{bad:?} -> {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn lane_count_parsing_is_strict_and_accepts_solo() {
+        assert_eq!(parse_batch_lanes("8"), Ok(8));
+        assert_eq!(parse_batch_lanes(" 16 "), Ok(16));
+        assert_eq!(parse_batch_lanes("solo"), Ok(1));
+        assert_eq!(parse_batch_lanes(" solo "), Ok(1));
+        for bad in ["8x", "0", "-2", "", "all", "3.5", "SOLO"] {
+            let err = parse_batch_lanes(bad).unwrap_err();
             assert!(
                 err.contains("positive") || err.contains("zero"),
                 "{bad:?} -> {err}"

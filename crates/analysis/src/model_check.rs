@@ -39,13 +39,252 @@
 //! exhibited a play surviving the whole horizon); an undecided safety
 //! objective is reported `Feasible` (no play violated it within the horizon).
 
+use crate::batch::{parse_thread_count, BatchRunner};
 use crate::figures;
 use crate::report::RowResult;
 use crate::scenario::{AdversaryKind, Scenario, SchedulerKind};
 use dynring_core::Algorithm;
-use dynring_engine::{RunReport, SimCheckpoint, Simulation, StopCondition};
+use dynring_engine::{KeyScratch, RunReport, SimCheckpoint, Simulation, StopCondition};
 use dynring_graph::{EdgeId, EdgeSchedule, Handedness, RingTopology};
-use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Worker threads of the exhaustive search, from `DYNRING_MC_THREADS`.
+///
+/// Unset means sequential (`1` — the reference path every equivalence test
+/// pins). Set, the value must parse as a positive integer exactly like
+/// `DYNRING_THREADS` (see [`parse_thread_count`]); anything else hard-fails
+/// rather than silently running at an unintended width.
+///
+/// # Panics
+///
+/// Panics on a malformed or non-unicode value.
+#[must_use]
+pub fn mc_threads_from_env() -> usize {
+    match std::env::var("DYNRING_MC_THREADS") {
+        Ok(raw) => match parse_thread_count(&raw) {
+            Ok(threads) => threads,
+            Err(message) => panic!("invalid DYNRING_MC_THREADS: {message}"),
+        },
+        Err(std::env::VarError::NotPresent) => 1,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("invalid DYNRING_MC_THREADS: value is not valid unicode")
+        }
+    }
+}
+
+/// Strict parser for `DYNRING_MC_MAX_N`: the largest ring size the full
+/// `infeasibility_cells` matrix is exhaustively proven at in the test suite.
+///
+/// # Errors
+///
+/// Returns a human-readable message when `raw` is not a positive integer or
+/// is below the smallest exhaustively checkable ring (`n = 4`).
+pub fn parse_max_check_n(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(n) if n >= 4 => Ok(n),
+        Ok(n) => Err(format!(
+            "`{n}` is below the smallest exhaustively checkable ring (n = 4)"
+        )),
+        Err(_) => Err(format!(
+            "`{trimmed}` is not a positive integer ring size (examples: 8, 10)"
+        )),
+    }
+}
+
+/// The largest ring size the exhaustive test matrix covers: the
+/// `DYNRING_MC_MAX_N` override when set (strictly parsed via
+/// [`parse_max_check_n`]), else `default`.
+///
+/// # Panics
+///
+/// Panics on a malformed or non-unicode value.
+#[must_use]
+pub fn max_check_n(default: usize) -> usize {
+    match std::env::var("DYNRING_MC_MAX_N") {
+        Ok(raw) => match parse_max_check_n(&raw) {
+            Ok(n) => n,
+            Err(message) => panic!("invalid DYNRING_MC_MAX_N: {message}"),
+        },
+        Err(std::env::VarError::NotPresent) => default,
+        Err(std::env::VarError::NotUnicode(_)) => {
+            panic!("invalid DYNRING_MC_MAX_N: value is not valid unicode")
+        }
+    }
+}
+
+/// 64-bit FNV-1a digest of a canonical key.
+#[inline]
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &byte in bytes {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-level dedup set over canonical keys: an open-addressed table of
+/// 64-bit FNV-1a digests, with the full keys retained in a side arena so
+/// that digest matches fall back to exact byte comparison. Hash collisions
+/// therefore cost one memcmp but can never merge distinct configurations —
+/// the proofs stay proofs.
+///
+/// `clear` keeps every buffer's capacity, so a recycled table performs no
+/// steady-state allocations once the hot level has been seen.
+#[derive(Debug, Default)]
+struct KeyTable {
+    /// Open-addressed probe table storing `entry index + 1` (`0` = empty).
+    /// Length is a power of two.
+    slots: Vec<u32>,
+    /// Digest of each inserted key, in insertion order.
+    digests: Vec<u64>,
+    /// End offset of each inserted key within `arena` (entry `i` spans
+    /// `ends[i - 1]..ends[i]`).
+    ends: Vec<u32>,
+    /// Concatenated full keys, for the exact-comparison fallback.
+    arena: Vec<u8>,
+}
+
+impl KeyTable {
+    const INITIAL_SLOTS: usize = 1024;
+
+    fn clear(&mut self) {
+        self.slots.iter_mut().for_each(|slot| *slot = 0);
+        self.digests.clear();
+        self.ends.clear();
+        self.arena.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.digests.len()
+    }
+
+    fn entry_key(&self, entry: usize) -> &[u8] {
+        let start = if entry == 0 { 0 } else { self.ends[entry - 1] as usize };
+        &self.arena[start..self.ends[entry] as usize]
+    }
+
+    /// Inserts `key`, returning whether it was new (`false` = already
+    /// present, byte-compared exactly).
+    fn insert(&mut self, key: &[u8]) -> bool {
+        if self.slots.is_empty() {
+            self.slots.resize(Self::INITIAL_SLOTS, 0);
+        }
+        // Grow at 7/8 load, before probing, so the probe below always finds
+        // an empty slot.
+        if (self.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow();
+        }
+        let digest = fnv1a(key);
+        let mask = self.slots.len() - 1;
+        let mut pos = (digest as usize) & mask;
+        loop {
+            match self.slots[pos] {
+                0 => {
+                    let entry = self.len();
+                    self.slots[pos] =
+                        u32::try_from(entry + 1).expect("key table exceeds u32 entries");
+                    self.digests.push(digest);
+                    self.arena.extend_from_slice(key);
+                    self.ends
+                        .push(u32::try_from(self.arena.len()).expect("key arena exceeds u32"));
+                    return true;
+                }
+                slot => {
+                    let entry = slot as usize - 1;
+                    if self.digests[entry] == digest && self.entry_key(entry) == key {
+                        return false;
+                    }
+                    pos = (pos + 1) & mask;
+                }
+            }
+        }
+    }
+
+    fn grow(&mut self) {
+        let new_len = (self.slots.len() * 2).max(Self::INITIAL_SLOTS);
+        self.slots.clear();
+        self.slots.resize(new_len, 0);
+        let mask = new_len - 1;
+        for (entry, &digest) in self.digests.iter().enumerate() {
+            let mut pos = (digest as usize) & mask;
+            while self.slots[pos] != 0 {
+                pos = (pos + 1) & mask;
+            }
+            self.slots[pos] = u32::try_from(entry + 1).expect("key table exceeds u32 entries");
+        }
+    }
+}
+
+/// Sentinel parent of the BFS root in the packed link arena.
+const ROOT_LINK: u32 = u32::MAX;
+
+/// One node of the parent-pointer witness arena: a `u32` parent index with
+/// the forced-edge choice packed alongside (`choice == ring size` encodes
+/// "remove nothing"). Eight bytes per expanded decision instead of the 24 of
+/// the old `(usize, Option<EdgeId>)` pairs.
+#[derive(Debug, Clone, Copy)]
+struct Link {
+    parent: u32,
+    choice: u16,
+}
+
+/// Reusable buffers of one exhaustive search: the link arena, the hashed
+/// dedup set, both frontiers, a checkpoint pool and the canonicalisation
+/// scratch. Holding a `SearchContext` across [`ModelCheck::run_in`] calls
+/// makes the sequential search allocation-free in the steady state (the
+/// bench's counting allocator pins this).
+#[derive(Debug)]
+pub struct SearchContext {
+    threads: usize,
+    links: Vec<Link>,
+    seen: KeyTable,
+    frontier: Vec<(SimCheckpoint, u32)>,
+    next: Vec<(SimCheckpoint, u32)>,
+    key: Vec<u8>,
+    key_scratch: KeyScratch,
+    scratch: SimCheckpoint,
+    pool: Vec<SimCheckpoint>,
+}
+
+impl SearchContext {
+    /// A context whose searches expand levels on `threads` workers
+    /// (`1` = the sequential reference path).
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        SearchContext {
+            threads: threads.max(1),
+            links: Vec::new(),
+            seen: KeyTable::default(),
+            frontier: Vec::new(),
+            next: Vec::new(),
+            key: Vec::new(),
+            key_scratch: KeyScratch::new(),
+            scratch: SimCheckpoint::default(),
+            pool: Vec::new(),
+        }
+    }
+
+    /// A context at the `DYNRING_MC_THREADS` width (default sequential).
+    #[must_use]
+    pub fn from_env() -> Self {
+        Self::new(mc_threads_from_env())
+    }
+
+    /// The configured worker width.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Returns leftover checkpoints of a previous run to the pool.
+    fn recycle(&mut self) {
+        self.pool.extend(self.frontier.drain(..).map(|(cp, _)| cp));
+        self.pool.extend(self.next.drain(..).map(|(cp, _)| cp));
+        self.links.clear();
+    }
+}
 
 /// What the protocol is trying to achieve (liveness) or preserve (safety).
 ///
@@ -290,16 +529,30 @@ pub struct ModelCheck {
     /// Hard cap on distinct kept configurations; exceeding it panics rather
     /// than silently truncating the proof.
     pub max_states: u64,
+    /// Dedup on the legacy `Debug`-string canonical key instead of the packed
+    /// binary key. Both encodings induce exactly the same equivalence classes
+    /// (the equivalence proptests pin this), so verdicts are identical; this
+    /// switch exists so the `model_check_throughput` bench can measure the
+    /// pre-packing baseline in-tree.
+    pub use_debug_key: bool,
 }
 
-/// Sentinel parent index of the BFS root.
-const ROOT: usize = usize::MAX;
+/// Frontier size below which a parallel context still expands sequentially —
+/// thread fan-out costs more than it saves on tiny levels, and the sequential
+/// path is the allocation-free one.
+const PARALLEL_FRONTIER_MIN: usize = 32;
 
 impl ModelCheck {
-    /// Packages a cell for exhaustive checking (default `max_states` 2 M).
+    /// Packages a cell for exhaustive checking.
+    ///
+    /// The default `max_states` runaway guard scales with the ring: 2 M
+    /// distinct configurations for `n ≤ 9`, 10 M for larger rings (the
+    /// widest packaged cell legitimately keeps ~2.6 M distinct states at
+    /// `n = 10`, which would trip the small-ring guard).
     #[must_use]
     pub fn new(scenario: Scenario, objective: Objective, depth: u64) -> Self {
-        ModelCheck { scenario, objective, depth, max_states: 2_000_000 }
+        let max_states = if scenario.ring_size >= 10 { 10_000_000 } else { 2_000_000 };
+        ModelCheck { scenario, objective, depth, max_states, use_debug_key: false }
     }
 
     /// The branchable simulation the search recycles: the cell's compiled
@@ -327,7 +580,8 @@ impl ModelCheck {
         scenario.run()
     }
 
-    /// Runs the exhaustive search.
+    /// Runs the exhaustive search at the `DYNRING_MC_THREADS` width with a
+    /// fresh [`SearchContext`].
     ///
     /// # Panics
     ///
@@ -336,6 +590,34 @@ impl ModelCheck {
     /// configurations.
     #[must_use]
     pub fn run(&self) -> Verdict {
+        self.run_in(&mut SearchContext::from_env())
+    }
+
+    /// Runs the exhaustive search on exactly `threads` workers (see
+    /// [`ModelCheck::run_in`]; `1` is the sequential reference path).
+    ///
+    /// # Panics
+    ///
+    /// As [`ModelCheck::run`].
+    #[must_use]
+    pub fn run_with_threads(&self, threads: usize) -> Verdict {
+        self.run_in(&mut SearchContext::new(threads))
+    }
+
+    /// Runs the exhaustive search inside `ctx`, recycling its buffers.
+    ///
+    /// The parallel path (`ctx.threads() > 1`) shards each BFS level into
+    /// contiguous chunks, expands them on a [`BatchRunner`] pool, and merges
+    /// the per-chunk records back **in sequential order** — the returned
+    /// verdict, its witness schedule and its [`SearchStats`] are byte-for-byte
+    /// identical to the sequential search (the parallel-equivalence tests pin
+    /// this over every packaged cell).
+    ///
+    /// # Panics
+    ///
+    /// As [`ModelCheck::run`].
+    #[must_use]
+    pub fn run_in(&self, ctx: &mut SearchContext) -> Verdict {
         let mut sim = self.branchable_simulation();
         assert!(
             sim.supports_checkpoint(),
@@ -344,15 +626,13 @@ impl ModelCheck {
         );
         let ring = self.scenario.ring();
         let n = ring.size();
+        assert!(n < usize::from(u16::MAX), "ring size exceeds the packed link arena's choice width");
         let mut stats = SearchStats::default();
+        ctx.recycle();
 
-        // Parent-pointer arena: one (parent, forced edge) link per kept or
-        // decided configuration; witnesses are walked back through it.
-        let mut links: Vec<(usize, Option<EdgeId>)> = Vec::new();
         // Latest protocol win (round, link) — the worst feasible play.
-        let mut best_win: Option<(u64, usize)> = None;
+        let mut best_win: Option<(u64, u32)> = None;
 
-        let root = sim.checkpoint();
         if let Outcome::AdversaryWins | Outcome::ProtocolWins = self.objective.classify(&sim) {
             // Decided before the adversary ever moves (e.g. dense starts
             // covering the whole ring): the empty schedule is the proof.
@@ -372,77 +652,34 @@ impl ModelCheck {
             };
         }
 
-        let mut frontier: Vec<(SimCheckpoint, usize)> = vec![(root, ROOT)];
-        let mut next: Vec<(SimCheckpoint, usize)> = Vec::new();
-        let mut seen: HashSet<Vec<u8>> = HashSet::new();
-        let mut key = Vec::new();
-        let mut scratch = SimCheckpoint::default();
+        let mut root = ctx.pool.pop().unwrap_or_default();
+        sim.checkpoint_into(&mut root);
+        ctx.frontier.push((root, ROOT_LINK));
 
         for _ in 0..self.depth {
-            if frontier.is_empty() {
+            if ctx.frontier.is_empty() {
                 break;
             }
-            stats.peak_frontier = stats.peak_frontier.max(frontier.len());
-            seen.clear();
-            for (cp, parent) in frontier.drain(..) {
-                // The n + 1 admissible adversary choices: remove edge e, or
-                // remove nothing (encoded as choice index n).
-                for choice_index in 0..=n {
-                    let choice =
-                        (choice_index < n).then(|| EdgeId::new(choice_index));
-                    sim.restore(&cp);
-                    sim.step_with_edge(choice);
-                    stats.expanded += 1;
-                    match self.objective.classify(&sim) {
-                        Outcome::AdversaryWins => {
-                            links.push((parent, choice));
-                            let witness = schedule_from(&links, links.len() - 1, &ring);
-                            stats.depth_reached = sim.round();
-                            return Verdict::Infeasible(InfeasibleProof {
-                                witness,
-                                defeat_round: sim.round(),
-                                proof_depth: sim.round(),
-                                stats,
-                            });
-                        }
-                        Outcome::ProtocolWins => {
-                            links.push((parent, choice));
-                            let round = sim.round();
-                            if best_win.is_none_or(|(r, _)| round >= r) {
-                                best_win = Some((round, links.len() - 1));
-                            }
-                        }
-                        Outcome::Undecided => {
-                            sim.checkpoint_into(&mut scratch);
-                            scratch.canonical_key(&ring, &mut key);
-                            if !seen.contains(&key) {
-                                seen.insert(key.clone());
-                                links.push((parent, choice));
-                                stats.visited += 1;
-                                assert!(
-                                    stats.visited <= self.max_states,
-                                    "model check exceeded {} states at depth {} (cell {})",
-                                    self.max_states,
-                                    sim.round(),
-                                    self.scenario.label()
-                                );
-                                next.push((
-                                    std::mem::take(&mut scratch),
-                                    links.len() - 1,
-                                ));
-                            }
-                        }
-                    }
-                }
+            stats.peak_frontier = stats.peak_frontier.max(ctx.frontier.len());
+            ctx.seen.clear();
+            let parallel = ctx.threads > 1
+                && ctx.frontier.len() >= (2 * ctx.threads).max(PARALLEL_FRONTIER_MIN);
+            let verdict = if parallel {
+                self.expand_level_parallel(ctx, &ring, n, &mut stats, &mut best_win)
+            } else {
+                self.expand_level_sequential(ctx, &mut sim, &ring, n, &mut stats, &mut best_win)
+            };
+            if let Some(verdict) = verdict {
+                return verdict;
             }
-            std::mem::swap(&mut frontier, &mut next);
+            std::mem::swap(&mut ctx.frontier, &mut ctx.next);
             stats.depth_reached += 1;
         }
 
-        if self.objective.is_safety() || frontier.is_empty() {
+        if self.objective.is_safety() || ctx.frontier.is_empty() {
             // Safety: no play violated the objective within the bound.
             // Liveness with an empty frontier: every play achieved it.
-            let (worst_round, link) = match (&*frontier, best_win) {
+            let (worst_round, link) = match (&*ctx.frontier, best_win) {
                 // A surviving safety play is "worse" than any decided one.
                 ([(cp, parent), ..], _) => (cp.round(), *parent),
                 ([], Some((round, link))) => (round, link),
@@ -456,13 +693,13 @@ impl ModelCheck {
                     });
                 }
             };
-            let worst_schedule = schedule_from(&links, link, &ring);
+            let worst_schedule = schedule_from(&ctx.links, link, &ring);
             Verdict::Feasible(FeasibleProof { worst_schedule, worst_round, stats })
         } else {
             // Liveness undecided at the bound: the adversary exhibited a play
             // surviving the whole horizon without the objective.
-            let (cp, parent) = &frontier[0];
-            let witness = schedule_from(&links, *parent, &ring);
+            let (cp, parent) = &ctx.frontier[0];
+            let witness = schedule_from(&ctx.links, *parent, &ring);
             Verdict::Infeasible(InfeasibleProof {
                 witness,
                 defeat_round: cp.round(),
@@ -471,19 +708,276 @@ impl ModelCheck {
             })
         }
     }
+
+    /// Expands one BFS level in place on the caller's thread: the reference
+    /// path, allocation-free in the steady state (every buffer it touches is
+    /// recycled through `ctx`).
+    fn expand_level_sequential(
+        &self,
+        ctx: &mut SearchContext,
+        sim: &mut Simulation,
+        ring: &RingTopology,
+        n: usize,
+        stats: &mut SearchStats,
+        best_win: &mut Option<(u64, u32)>,
+    ) -> Option<Verdict> {
+        for (cp, parent) in ctx.frontier.drain(..) {
+            // The n + 1 admissible adversary choices: remove edge e, or
+            // remove nothing (encoded as choice index n).
+            for choice_index in 0..=n {
+                let choice = (choice_index < n).then(|| EdgeId::new(choice_index));
+                sim.restore(&cp);
+                sim.step_with_edge(choice);
+                stats.expanded += 1;
+                match self.objective.classify(sim) {
+                    Outcome::AdversaryWins => {
+                        let link = push_link(&mut ctx.links, parent, choice_index);
+                        let witness = schedule_from(&ctx.links, link, ring);
+                        stats.depth_reached = sim.round();
+                        return Some(Verdict::Infeasible(InfeasibleProof {
+                            witness,
+                            defeat_round: sim.round(),
+                            proof_depth: sim.round(),
+                            stats: *stats,
+                        }));
+                    }
+                    Outcome::ProtocolWins => {
+                        let link = push_link(&mut ctx.links, parent, choice_index);
+                        let round = sim.round();
+                        if best_win.is_none_or(|(r, _)| round >= r) {
+                            *best_win = Some((round, link));
+                        }
+                    }
+                    Outcome::Undecided => {
+                        sim.checkpoint_into(&mut ctx.scratch);
+                        if self.use_debug_key {
+                            ctx.scratch.canonical_key_debug(ring, &mut ctx.key);
+                        } else {
+                            ctx.scratch.canonical_key_into(
+                                ring,
+                                &mut ctx.key_scratch,
+                                &mut ctx.key,
+                            );
+                        }
+                        if ctx.seen.insert(&ctx.key) {
+                            let link = push_link(&mut ctx.links, parent, choice_index);
+                            stats.visited += 1;
+                            assert!(
+                                stats.visited <= self.max_states,
+                                "model check exceeded {} states at depth {} (cell {})",
+                                self.max_states,
+                                sim.round(),
+                                self.scenario.label()
+                            );
+                            let fresh = ctx.pool.pop().unwrap_or_default();
+                            ctx.next.push((std::mem::replace(&mut ctx.scratch, fresh), link));
+                        }
+                    }
+                }
+            }
+            ctx.pool.push(cp);
+        }
+        None
+    }
+
+    /// Expands one BFS level on the `BatchRunner` pool and merges the chunk
+    /// records back in sequential order — see [`ModelCheck::run_in`].
+    fn expand_level_parallel(
+        &self,
+        ctx: &mut SearchContext,
+        ring: &RingTopology,
+        n: usize,
+        stats: &mut SearchStats,
+        best_win: &mut Option<(u64, u32)>,
+    ) -> Option<Verdict> {
+        // Every successor of this level lands in the same round (BFS levels
+        // are lockstep in depth), which the max-states panic message reports.
+        let level_round = ctx.frontier[0].0.round() + 1;
+        let chunk_len = ctx.frontier.len().div_ceil(ctx.threads);
+        let chunks: Vec<(usize, &[(SimCheckpoint, u32)])> =
+            ctx.frontier.chunks(chunk_len).enumerate().collect();
+        // Lowest chunk index that hit an adversary win. The merge below never
+        // reads records past that win, so chunks strictly after it may stop
+        // expanding early; chunks before it must run to completion because
+        // every one of their records is merged.
+        let earliest_adv = AtomicUsize::new(usize::MAX);
+        let use_debug_key = self.use_debug_key;
+        let runner = BatchRunner::new(ctx.threads);
+        let mut outs = runner.run_map_with(
+            &chunks,
+            || {
+                (
+                    self.branchable_simulation(),
+                    SimCheckpoint::default(),
+                    KeyScratch::new(),
+                    KeyTable::default(),
+                    Vec::new(),
+                )
+            },
+            |state, &(chunk_index, items)| {
+                let (sim, scratch, key_scratch, local_seen, key) = state;
+                local_seen.clear();
+                let mut out = ChunkOut::default();
+                'items: for (cp, _parent) in items {
+                    for choice_index in 0..=n {
+                        if earliest_adv.load(Ordering::Relaxed) < chunk_index {
+                            break 'items;
+                        }
+                        let choice = (choice_index < n).then(|| EdgeId::new(choice_index));
+                        sim.restore(cp);
+                        sim.step_with_edge(choice);
+                        match self.objective.classify(sim) {
+                            Outcome::AdversaryWins => {
+                                out.recs.push(Rec::Adv { round: sim.round() });
+                                earliest_adv.fetch_min(chunk_index, Ordering::Relaxed);
+                                break 'items;
+                            }
+                            Outcome::ProtocolWins => {
+                                out.recs.push(Rec::Proto { round: sim.round() });
+                            }
+                            Outcome::Undecided => {
+                                sim.checkpoint_into(scratch);
+                                if use_debug_key {
+                                    scratch.canonical_key_debug(ring, key);
+                                } else {
+                                    scratch.canonical_key_into(ring, key_scratch, key);
+                                }
+                                if local_seen.insert(key) {
+                                    // Chunk-locally new: ship key + checkpoint.
+                                    // If the merge finds it globally old the
+                                    // checkpoint is recycled, not kept.
+                                    out.keys.extend_from_slice(key);
+                                    out.key_ends.push(
+                                        u32::try_from(out.keys.len())
+                                            .expect("chunk key arena exceeds u32"),
+                                    );
+                                    out.cps.push(std::mem::take(scratch));
+                                    out.recs.push(Rec::New);
+                                } else {
+                                    // A chunk-local duplicate is necessarily a
+                                    // global duplicate: the earlier identical
+                                    // key in this same chunk merges first.
+                                    out.recs.push(Rec::Dup);
+                                }
+                            }
+                        }
+                    }
+                }
+                out
+            },
+        );
+
+        // In-order merge: replay every chunk's records exactly as the
+        // sequential loop would have visited them.
+        let mut result = None;
+        'merge: for (chunk_index, out) in outs.iter_mut().enumerate() {
+            let chunk_start = chunk_index * chunk_len;
+            let mut key_start = 0usize;
+            let mut ordinal = 0usize;
+            for (i, rec) in out.recs.iter().enumerate() {
+                let item = chunk_start + i / (n + 1);
+                let choice_index = i % (n + 1);
+                let parent = ctx.frontier[item].1;
+                stats.expanded += 1;
+                match *rec {
+                    Rec::Adv { round } => {
+                        let link = push_link(&mut ctx.links, parent, choice_index);
+                        let witness = schedule_from(&ctx.links, link, ring);
+                        stats.depth_reached = round;
+                        result = Some(Verdict::Infeasible(InfeasibleProof {
+                            witness,
+                            defeat_round: round,
+                            proof_depth: round,
+                            stats: *stats,
+                        }));
+                        break 'merge;
+                    }
+                    Rec::Proto { round } => {
+                        let link = push_link(&mut ctx.links, parent, choice_index);
+                        if best_win.is_none_or(|(r, _)| round >= r) {
+                            *best_win = Some((round, link));
+                        }
+                    }
+                    Rec::New => {
+                        let end = out.key_ends[ordinal] as usize;
+                        let key = &out.keys[key_start..end];
+                        let cp = std::mem::take(&mut out.cps[ordinal]);
+                        key_start = end;
+                        ordinal += 1;
+                        if ctx.seen.insert(key) {
+                            let link = push_link(&mut ctx.links, parent, choice_index);
+                            stats.visited += 1;
+                            assert!(
+                                stats.visited <= self.max_states,
+                                "model check exceeded {} states at depth {} (cell {})",
+                                self.max_states,
+                                level_round,
+                                self.scenario.label()
+                            );
+                            ctx.next.push((cp, link));
+                        } else {
+                            ctx.pool.push(cp);
+                        }
+                    }
+                    Rec::Dup => {}
+                }
+            }
+        }
+        drop(outs);
+        drop(chunks);
+        if result.is_none() {
+            ctx.pool.extend(ctx.frontier.drain(..).map(|(cp, _)| cp));
+        }
+        result
+    }
+}
+
+/// Appends a packed link, returning its index.
+fn push_link(links: &mut Vec<Link>, parent: u32, choice_index: usize) -> u32 {
+    let id = u32::try_from(links.len()).expect("link arena exceeds u32 entries");
+    links.push(Link {
+        parent,
+        choice: u16::try_from(choice_index).expect("choice exceeds packed width"),
+    });
+    id
+}
+
+/// One expansion outcome recorded by a parallel chunk worker, in the exact
+/// (item, choice) order the sequential loop visits.
+#[derive(Debug, Clone, Copy)]
+enum Rec {
+    /// Adversary win at `round`; the worker stops after recording it.
+    Adv { round: u64 },
+    /// Protocol win at `round`.
+    Proto { round: u64 },
+    /// Chunk-locally new undecided configuration; its canonical key and
+    /// checkpoint ride in the chunk's side arrays.
+    New,
+    /// Chunk-local (hence global) duplicate; nothing attached.
+    Dup,
+}
+
+/// Everything one parallel chunk ships back to the in-order merge.
+#[derive(Debug, Default)]
+struct ChunkOut {
+    recs: Vec<Rec>,
+    /// Concatenated canonical keys of the `Rec::New` records.
+    keys: Vec<u8>,
+    /// End offset of each `Rec::New` key within `keys`.
+    key_ends: Vec<u32>,
+    /// Checkpoints of the `Rec::New` records.
+    cps: Vec<SimCheckpoint>,
 }
 
 /// Walks the parent-pointer arena back to the root and materialises the
 /// per-round forced choices as a replayable schedule.
-fn schedule_from(
-    links: &[(usize, Option<EdgeId>)],
-    mut link: usize,
-    ring: &RingTopology,
-) -> EdgeSchedule {
+fn schedule_from(links: &[Link], mut link: u32, ring: &RingTopology) -> EdgeSchedule {
+    let n = ring.size();
     let mut choices = Vec::new();
-    while link != ROOT {
-        let (parent, choice) = links[link];
-        choices.push(choice);
+    while link != ROOT_LINK {
+        let Link { parent, choice } = links[link as usize];
+        let choice = usize::from(choice);
+        choices.push((choice < n).then(|| EdgeId::new(choice)));
         link = parent;
     }
     choices.reverse();
@@ -573,14 +1067,14 @@ impl TableCell {
 /// The deceived horizon guess the Table 1 witnesses commit to.
 const GUESSED_BOUND: usize = 3;
 
-/// Exhaustively checkable Table 1 rows on a ring of `4 ≤ n ≤ 8`.
+/// Exhaustively checkable Table 1 rows on a ring of `4 ≤ n ≤ 12`.
 ///
 /// Mirrors the scenario parameters of [`tables::table1`](crate::tables::table1)
 /// exactly, minus the hand-picked adversaries — the search plays every
 /// adversary.
 #[must_use]
 pub fn table1_cells(n: usize) -> Vec<TableCell> {
-    assert!((4..=8).contains(&n), "exhaustive Table 1 cells cover 4 <= n <= 8");
+    assert!((4..=12).contains(&n), "exhaustive Table 1 cells cover 4 <= n <= 12");
     // The deceived strategy terminates by round 3·GUESSED − 6 + 1 on its
     // guessed ring; the depth adds slack for adversary-delayed defeats.
     let t1_depth = 3 * GUESSED_BOUND as u64 + 4;
@@ -624,13 +1118,13 @@ pub fn table1_cells(n: usize) -> Vec<TableCell> {
     ]
 }
 
-/// Exhaustively checkable Table 3 rows on a ring of `4 ≤ n ≤ 8` (the
+/// Exhaustively checkable Table 3 rows on a ring of `4 ≤ n ≤ 12` (the
 /// Theorem 19 row needs `n ≥ 5` and is omitted below that).
 ///
 /// Mirrors the scenario parameters of [`tables::table3`](crate::tables::table3).
 #[must_use]
 pub fn table3_cells(n: usize) -> Vec<TableCell> {
-    assert!((4..=8).contains(&n), "exhaustive Table 3 cells cover 4 <= n <= 8");
+    assert!((4..=12).contains(&n), "exhaustive Table 3 cells cover 4 <= n <= 12");
     let mut cells = Vec::new();
 
     // Theorem 9 (NS): under the first-mover scheduler no protocol ever moves;
@@ -765,4 +1259,81 @@ pub fn cross_validate_figure2(n: usize) -> (u64, u64) {
         proof.worst_schedule,
     );
     (proof.worst_round, scripted_round)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_check_n_parser_accepts_ring_sizes() {
+        assert_eq!(parse_max_check_n("8"), Ok(8));
+        assert_eq!(parse_max_check_n(" 10 "), Ok(10));
+        assert_eq!(parse_max_check_n("4"), Ok(4));
+    }
+
+    #[test]
+    fn max_check_n_parser_rejects_garbage() {
+        for garbage in ["", "zero", "-3", "8.5", "0x10", "1e3"] {
+            let err = parse_max_check_n(garbage).unwrap_err();
+            assert!(
+                err.contains("not a positive integer ring size"),
+                "{garbage:?} should be rejected as non-integer, got: {err}"
+            );
+        }
+        for too_small in ["0", "1", "3"] {
+            let err = parse_max_check_n(too_small).unwrap_err();
+            assert!(
+                err.contains("smallest exhaustively checkable ring"),
+                "{too_small:?} should be rejected as too small, got: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn mc_threads_parser_rejects_garbage() {
+        // `DYNRING_MC_THREADS` reuses the strict `DYNRING_THREADS` grammar.
+        assert!(parse_thread_count("0").is_err());
+        assert!(parse_thread_count("four").is_err());
+        assert_eq!(parse_thread_count("4"), Ok(4));
+    }
+
+    #[test]
+    fn key_table_dedups_and_survives_clear() {
+        let mut table = KeyTable::default();
+        assert!(table.insert(b"alpha"));
+        assert!(table.insert(b"beta"));
+        assert!(!table.insert(b"alpha"));
+        assert_eq!(table.len(), 2);
+        table.clear();
+        assert_eq!(table.len(), 0);
+        assert!(table.insert(b"alpha"), "cleared table must forget entries");
+    }
+
+    #[test]
+    fn key_table_grows_without_losing_entries() {
+        let mut table = KeyTable::default();
+        // Insert enough distinct keys to force several grows past the 7/8
+        // load factor, then verify every key is still found (byte-exactly).
+        for i in 0u32..10_000 {
+            assert!(table.insert(&i.to_le_bytes()), "key {i} should be new");
+        }
+        for i in 0u32..10_000 {
+            assert!(!table.insert(&i.to_le_bytes()), "key {i} should be found");
+        }
+        assert_eq!(table.len(), 10_000);
+    }
+
+    #[test]
+    fn key_table_distinguishes_equal_digest_prefixes() {
+        // Keys sharing a long common prefix exercise the exact byte-compare
+        // fallback path (and `entry_key`'s slicing of a shared arena).
+        let mut table = KeyTable::default();
+        assert!(table.insert(b"prefix-0"));
+        assert!(table.insert(b"prefix-1"));
+        assert!(table.insert(b"prefix"));
+        assert!(!table.insert(b"prefix-0"));
+        assert!(!table.insert(b"prefix"));
+        assert_eq!(table.len(), 3);
+    }
 }

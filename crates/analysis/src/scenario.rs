@@ -472,6 +472,23 @@ impl Scenario {
         true
     }
 
+    /// Whether this scenario's shape actually *profits* from lockstep
+    /// batching.
+    ///
+    /// FSYNC cells do: every lane activates every agent every round, so the
+    /// run-major SoA loop amortises its per-round dispatch across all lanes.
+    /// SSYNC cells don't — scheduler-driven activation makes lanes diverge
+    /// (different agents active, different rounds decided), and the measured
+    /// batched throughput on the ssync-pt shape trails the recycled solo
+    /// runner. [`ScenarioBatchRunner`] uses this to route non-lockstep
+    /// groups through its solo recycled path; outputs are byte-identical
+    /// either way, this is purely a throughput heuristic (override with
+    /// `DYNRING_BATCH_LANES=solo` to force solo routing for every shape).
+    #[must_use]
+    pub fn prefers_lockstep(&self) -> bool {
+        matches!(self.synchrony, SynchronyModel::Fsync)
+    }
+
     /// Whether `self` and `other` can share one [`SimBatch`] lane group.
     ///
     /// The engine requires every lane of a batch to agree on ring size, team
@@ -640,13 +657,23 @@ impl ScenarioBatchRunner {
     pub fn run_group_reports(&mut self, group: &[Scenario]) -> &[RunReport] {
         let b = group.len();
         let Some(first) = group.first() else { return &[] };
-        if b == 1 {
+        // Adaptive lifecycle heuristic: shapes that don't profit from
+        // lockstep (SSYNC groups — see `Scenario::prefers_lockstep`) run on
+        // the recycled solo runner instead of the batch. Trace-recording
+        // groups stay batched so `ScenarioBatchRunner::trace` keeps every
+        // lane's trace addressable. Reports are byte-identical either way.
+        let route_solo = b == 1
+            || (!group.iter().all(Scenario::prefers_lockstep)
+                && group.iter().all(|s| !s.record_trace));
+        if route_solo {
             self.last_solo = true;
-            if self.reports.is_empty() {
-                self.reports.resize_with(1, RunReport::default);
+            if self.reports.len() < b {
+                self.reports.resize_with(b, RunReport::default);
             }
-            self.solo.run_into(first, &mut self.reports[0]);
-            return &self.reports[..1];
+            for (lane, scenario) in group.iter().enumerate() {
+                self.solo.run_into(scenario, &mut self.reports[lane]);
+            }
+            return &self.reports[..b];
         }
         self.last_solo = false;
         assert!(
@@ -694,6 +721,32 @@ impl ScenarioBatchRunner {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ssync_groups_route_through_the_solo_recycled_path() {
+        let fsync = Scenario::fsync(6, Algorithm::KnownBound { upper_bound: 6 });
+        assert!(fsync.prefers_lockstep(), "FSYNC shapes profit from lockstep");
+        let group: Vec<Scenario> = (0..4)
+            .map(|i| Scenario::ssync(6, Algorithm::PtBoundChirality { upper_bound: 6 }, i))
+            .collect();
+        assert!(group.iter().all(|s| !s.prefers_lockstep()), "SSYNC shapes do not");
+
+        // The routed group must produce byte-identical reports to per-cell
+        // solo runs, and actually take the solo path.
+        let mut runner = ScenarioBatchRunner::new();
+        let routed = runner.run_group(&group);
+        assert!(runner.last_solo, "a non-lockstep group must route solo");
+        let solo: Vec<RunReport> = group.iter().map(Scenario::run).collect();
+        assert_eq!(routed, solo);
+
+        // Lockstep groups still ride the batch.
+        let lockstep: Vec<Scenario> = (0..4)
+            .map(|_| Scenario::fsync(6, Algorithm::KnownBound { upper_bound: 6 }))
+            .collect();
+        let batched = runner.run_group(&lockstep);
+        assert!(!runner.last_solo, "an FSYNC group must stay batched");
+        assert_eq!(batched, lockstep.iter().map(Scenario::run).collect::<Vec<_>>());
+    }
 
     #[test]
     fn fsync_scenario_defaults_are_consistent() {

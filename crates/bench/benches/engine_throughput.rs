@@ -50,13 +50,16 @@ fn main() {
 
     let path = out_path();
     // Diff against the previous committed baseline before overwriting it,
-    // and carry its runs/sec section (owned by `sweep_throughput`) over
-    // verbatim — each bench target only refreshes its own rows.
+    // and carry its runs/sec and states/sec sections (owned by
+    // `sweep_throughput` and `model_check_throughput`) over verbatim — each
+    // bench target only refreshes its own rows.
     let previous_document = std::fs::read_to_string(&path).unwrap_or_default();
     let previous = parse_baseline(&previous_document);
     let sweep_lines = extract_section(&previous_document, "sweep_cases");
+    let mc_lines = extract_section(&previous_document, "model_check_cases");
     let case_lines: Vec<String> = samples.iter().map(case_json_line).collect();
-    write_document(&path, &case_lines, &sweep_lines).expect("write BENCH_engine.json");
+    write_document(&path, &case_lines, &sweep_lines, &mc_lines)
+        .expect("write BENCH_engine.json");
     println!("\nbaseline written to {}", path.display());
 
     if previous.is_empty() {

@@ -13,9 +13,9 @@
 //! recycled or batched steady state allocates at all, so the zero-allocation
 //! claim is machine-checked on every run, including the CI smoke.
 //!
-//! Results are appended to `BENCH_engine.json` (schema v2, `sweep_cases`
-//! section); the `cases` section owned by `engine_throughput` is preserved
-//! verbatim.
+//! Results are appended to `BENCH_engine.json` (schema v3, `sweep_cases`
+//! section); the `cases` and `model_check_cases` sections owned by
+//! `engine_throughput` and `model_check_throughput` are preserved verbatim.
 //!
 //! ```bash
 //! cargo bench --bench sweep_throughput            # full measurement
@@ -155,13 +155,15 @@ fn main() {
     );
 
     let path = out_path();
-    // Refresh the runs/sec section; preserve the rounds/sec section owned by
-    // `engine_throughput` verbatim, and diff against the previous baseline.
+    // Refresh the runs/sec section; preserve the rounds/sec and states/sec
+    // sections owned by `engine_throughput` and `model_check_throughput`
+    // verbatim, and diff against the previous baseline.
     let previous_document = std::fs::read_to_string(&path).unwrap_or_default();
     let previous = parse_baseline(&previous_document);
     let case_lines = extract_section(&previous_document, "cases");
+    let mc_lines = extract_section(&previous_document, "model_check_cases");
     let sweep_lines: Vec<String> = samples.iter().map(sweep_json_line).collect();
-    dynring_bench::throughput::write_document(&path, &case_lines, &sweep_lines)
+    dynring_bench::throughput::write_document(&path, &case_lines, &sweep_lines, &mc_lines)
         .expect("write BENCH_engine.json");
     println!("\nbaseline written to {}", path.display());
 

@@ -511,6 +511,23 @@ impl Protocol for CatalogProtocol {
     fn state_label(&self) -> String {
         dispatch!(self, p => p.state_label())
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        // A leading variant tag keeps encodings of different catalogue
+        // algorithms disjoint even when their field encodings would collide.
+        out.push(match self {
+            CatalogProtocol::KnownBound(_) => 0,
+            CatalogProtocol::Unconscious(_) => 1,
+            CatalogProtocol::LandmarkChirality(_) => 2,
+            CatalogProtocol::LandmarkNoChirality(_) => 3,
+            CatalogProtocol::PtBoundChirality(_) => 4,
+            CatalogProtocol::PtLandmarkChirality(_) => 5,
+            CatalogProtocol::PtNoChirality(_) => 6,
+            CatalogProtocol::EtUnconscious(_) => 7,
+            CatalogProtocol::LoneWalker(_) => 8,
+        });
+        dispatch!(self, p => p.write_state_key(out))
+    }
 }
 
 #[cfg(test)]

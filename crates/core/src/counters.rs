@@ -259,6 +259,37 @@ impl Counters {
     pub const fn last_attempt(&self) -> Option<LocalDirection> {
         self.last_attempt
     }
+
+    /// Appends a packed, injective encoding of every counter field to `out`
+    /// (see [`dynring_model::statekey`]). Every field of the struct is
+    /// emitted with a fixed width, so two `Counters` values serialise to the
+    /// same bytes iff they are equal.
+    pub fn write_state_key(&self, out: &mut Vec<u8>) {
+        use dynring_model::statekey::{push_i64, push_opt_i64, push_opt_u64, push_u64};
+        out.push(u8::from(self.activated));
+        push_u64(out, self.ttime);
+        push_u64(out, self.tsteps);
+        push_u64(out, self.etime);
+        push_u64(out, self.esteps);
+        push_u64(out, self.btime);
+        push_u64(out, self.ntime);
+        push_i64(out, self.offset);
+        push_i64(out, self.min_offset);
+        push_i64(out, self.max_offset);
+        push_opt_i64(out, self.landmark_ref);
+        push_opt_u64(out, self.known_size);
+        out.push(direction_key(self.last_attempt));
+    }
+}
+
+/// Single-byte injective encoding of an optional local direction.
+#[must_use]
+pub(crate) fn direction_key(dir: Option<LocalDirection>) -> u8 {
+    match dir {
+        None => 0,
+        Some(LocalDirection::Left) => 1,
+        Some(LocalDirection::Right) => 2,
+    }
 }
 
 #[cfg(test)]

@@ -99,6 +99,14 @@ impl DirectionSequence {
         self.id
     }
 
+    /// Appends a packed, injective encoding of the sequence to `out`. The
+    /// base string and base phase are pure functions of the identifier (the
+    /// only constructor is [`DirectionSequence::new`]), so emitting the
+    /// identifier alone is injective on the whole struct.
+    pub fn write_state_key(&self, out: &mut Vec<u8>) {
+        dynring_model::statekey::push_u64(out, self.id);
+    }
+
     /// `j̄`: the first phase whose length accommodates `S(ID)`.
     #[must_use]
     pub const fn base_phase(&self) -> u32 {

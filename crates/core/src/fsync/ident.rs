@@ -148,6 +148,17 @@ impl AgentIdentifier {
     pub const fn k3(&self) -> u64 {
         self.k3
     }
+
+    /// Appends a packed, injective encoding of the identifier to `out`. The
+    /// bit string and numeric value are pure functions of `(k1, k2, k3)`
+    /// (every constructor derives them via [`interleave_id`]), so emitting
+    /// the three components alone is injective on the whole struct.
+    pub fn write_state_key(&self, out: &mut Vec<u8>) {
+        use dynring_model::statekey::push_u64;
+        push_u64(out, self.k1);
+        push_u64(out, self.k2);
+        push_u64(out, self.k3);
+    }
 }
 
 impl fmt::Display for AgentIdentifier {

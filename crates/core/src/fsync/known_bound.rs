@@ -172,6 +172,18 @@ impl Protocol for KnownBound {
     fn state_label(&self) -> String {
         format!("{:?}(Ttime={},Btime={})", self.state, self.counters.ttime(), self.counters.btime())
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        dynring_model::statekey::push_u64(out, self.bound);
+        out.push(match self.state {
+            State::Init => 0,
+            State::Bounce => 1,
+            State::Forward => 2,
+            State::Terminate => 3,
+        });
+        self.counters.write_state_key(out);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -284,6 +284,25 @@ impl Protocol for LandmarkChirality {
             self.bounce_steps
         )
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        use dynring_model::statekey::push_opt_u64;
+        out.push(match self.state {
+            LcState::Init => 0,
+            LcState::Bounce => 1,
+            LcState::Return => 2,
+            LcState::Forward => 3,
+            LcState::BCommSignal => 4,
+            LcState::BCommWait => 5,
+            LcState::FCommSignal => 6,
+            LcState::FCommWait => 7,
+            LcState::Terminate => 8,
+        });
+        push_opt_u64(out, self.bounce_steps);
+        push_opt_u64(out, self.return_steps);
+        self.counters.write_state_key(out);
+        true
+    }
 }
 
 #[cfg(test)]

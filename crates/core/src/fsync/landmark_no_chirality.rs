@@ -600,6 +600,49 @@ impl Protocol for LandmarkNoChirality {
             self.counters.known_size()
         )
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        use dynring_model::statekey::{push_opt_u64, push_u64};
+        out.push(match self.state {
+            LnState::Init => 0,
+            LnState::FirstBlock => 1,
+            LnState::AtLandmark => 2,
+            LnState::AtLandmarkWait => 3,
+            LnState::Happy => 4,
+            LnState::Reverse => 5,
+            LnState::Bounce => 6,
+            LnState::Return => 7,
+            LnState::Forward => 8,
+            LnState::BCommSignal => 9,
+            LnState::BCommWait => 10,
+            LnState::FCommSignal => 11,
+            LnState::FCommWait => 12,
+            LnState::Terminate => 13,
+        });
+        out.push(u8::from(self.landmark_phase));
+        out.push(crate::counters::direction_key(Some(self.dir)));
+        push_u64(out, self.k1);
+        push_u64(out, self.k3);
+        match &self.identifier {
+            Some(id) => {
+                out.push(1);
+                id.write_state_key(out);
+            }
+            None => out.push(0),
+        }
+        match &self.sequence {
+            Some(seq) => {
+                out.push(1);
+                seq.write_state_key(out);
+            }
+            None => out.push(0),
+        }
+        out.push(crate::counters::direction_key(self.fwd));
+        push_opt_u64(out, self.bounce_steps);
+        push_opt_u64(out, self.return_steps);
+        self.counters.write_state_key(out);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,20 @@ impl Protocol for Unconscious {
     fn state_label(&self) -> String {
         format!("{:?}(G={},dir={})", self.state, self.guess, self.dir)
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        out.push(match self.state {
+            State::Init => 0,
+            State::Bounce => 1,
+            State::Reverse => 2,
+            State::Forward => 3,
+            State::Keep => 4,
+        });
+        dynring_model::statekey::push_u64(out, self.guess);
+        out.push(crate::counters::direction_key(Some(self.dir)));
+        self.counters.write_state_key(out);
+        true
+    }
 }
 
 #[cfg(test)]

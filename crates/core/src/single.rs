@@ -91,6 +91,13 @@ impl Protocol for LoneWalker {
     fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
         dynring_model::clone_state_from(self, src)
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        dynring_model::statekey::push_u64(out, self.patience);
+        out.push(crate::counters::direction_key(Some(self.dir)));
+        self.counters.write_state_key(out);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -90,6 +90,12 @@ impl Protocol for EtUnconscious {
     fn clone_from_box(&mut self, src: &dyn Protocol) -> bool {
         dynring_model::clone_state_from(self, src)
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        out.push(crate::counters::direction_key(Some(self.dir)));
+        self.counters.write_state_key(out);
+        true
+    }
 }
 
 #[cfg(test)]

@@ -88,6 +88,26 @@ impl PtChirality {
         Decision::Move(LocalDirection::Left)
     }
 
+    fn write_state_key(&self, out: &mut Vec<u8>) {
+        use dynring_model::statekey::{push_opt_u64, push_u64};
+        match self.done {
+            DoneTest::UpperBound(n) => {
+                out.push(0);
+                push_u64(out, n);
+            }
+            DoneTest::LandmarkLoop => out.push(1),
+        }
+        out.push(match self.state {
+            State::Init => 0,
+            State::Bounce => 1,
+            State::Reverse => 2,
+            State::Terminate => 3,
+        });
+        push_opt_u64(out, self.left_steps);
+        push_opt_u64(out, self.right_steps);
+        self.counters.write_state_key(out);
+    }
+
     fn step(&mut self, snapshot: &Snapshot) -> Decision {
         match self.state {
             State::Init => {
@@ -212,6 +232,11 @@ impl Protocol for PtBoundChirality {
     fn state_label(&self) -> String {
         self.inner.label()
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        self.inner.write_state_key(out);
+        true
+    }
 }
 
 /// Algorithm `PTLandmarkWithChirality` of Figure 17: two agents, chirality,
@@ -287,6 +312,11 @@ impl Protocol for PtLandmarkChirality {
 
     fn state_label(&self) -> String {
         self.inner.label()
+    }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        self.inner.write_state_key(out);
+        true
     }
 }
 

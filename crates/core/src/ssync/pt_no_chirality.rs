@@ -310,6 +310,33 @@ impl Protocol for PtNoChirality {
     fn state_label(&self) -> String {
         format!("{:?}(d={},Tnodes={})", self.state, self.d, self.counters.tnodes())
     }
+
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        use dynring_model::statekey::push_u64;
+        match self.done {
+            SizeTermination::UpperBound(n) => {
+                out.push(0);
+                push_u64(out, n);
+            }
+            SizeTermination::ExactSize(n) => {
+                out.push(1);
+                push_u64(out, n);
+            }
+            SizeTermination::LandmarkLoop => out.push(2),
+        }
+        out.push(u8::from(self.strict));
+        out.push(match self.state {
+            State::Init => 0,
+            State::Bounce => 1,
+            State::Reverse => 2,
+            State::MeetingR => 3,
+            State::MeetingB => 4,
+            State::Terminate => 5,
+        });
+        push_u64(out, self.d);
+        self.counters.write_state_key(out);
+        true
+    }
 }
 
 #[cfg(test)]

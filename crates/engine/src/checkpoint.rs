@@ -40,17 +40,64 @@
 //! The encoding covers exactly the state that can influence future
 //! behaviour: the permuted visit map, each agent's mapped position, held
 //! port, termination flag, handedness, prior outcome, sleep/activation ages
-//! (read by the paper's schedulers) and the complete program state via its
-//! derived `Debug` representation (protocols only ever observe local-frame
-//! snapshots, so program state is invariant under both symmetries).
-//! Statistics that feed reports but never decisions — move counts,
-//! termination rounds, per-agent visit maps — are excluded, which is what
-//! lets the memo table collapse distinct histories onto one frontier state.
+//! (read by the paper's schedulers) and the complete program state
+//! (protocols only ever observe local-frame snapshots, so program state is
+//! invariant under both symmetries). Statistics that feed reports but never
+//! decisions — move counts, termination rounds, per-agent visit maps — are
+//! excluded, which is what lets the memo table collapse distinct histories
+//! onto one frontier state.
+//!
+//! # Packed key format
+//!
+//! [`SimCheckpoint::canonical_key_into`] produces the key in a compact
+//! binary layout with **zero steady-state allocations** (all buffers come
+//! from a recycled [`KeyScratch`]):
+//!
+//! * a *symmetry-invariant* prefix, emitted once — round counter,
+//!   activation-policy token, and per agent the sleep age, the dense rank of
+//!   its last-active round, and its length-prefixed program state via
+//!   [`AgentProgram::write_state_key`] (packed integers for catalogue
+//!   protocols, a `Debug`-string fallback for foreign boxed ones);
+//! * a *symmetry-variant* suffix, minimised lexicographically over the
+//!   admissible maps — the permuted visit map bit-packed at 8 nodes/byte,
+//!   then per agent the mapped node (`u16`) and one flags byte packing the
+//!   held port (2 bits), termination flag, reflection-adjusted handedness,
+//!   and prior outcome (3 bits).
+//!
+//! Any injective encoding yields the same equivalence classes as any other
+//! over the same map family: the orbits of the symmetry group partition the
+//! configuration space, and two orbits sharing their minimal encoded element
+//! are equal. The retired `Debug`-string encoding is kept as
+//! [`SimCheckpoint::canonical_key_debug`] so benches and the equivalence
+//! proptests can measure and verify exactly that.
 
 use crate::world::AgentProgram;
 use dynring_graph::{GlobalDirection, Handedness, NodeId, RingTopology};
 use dynring_model::PriorOutcome;
 use std::fmt::Write as _;
+
+/// Recycled scratch buffers for [`SimCheckpoint::canonical_key_into`].
+///
+/// Holding one `KeyScratch` per search worker makes canonicalisation
+/// allocation-free in the steady state: the per-agent program encodings and
+/// the per-map candidate buffer reuse their capacity across calls.
+#[derive(Debug, Default)]
+pub struct KeyScratch {
+    /// Concatenated packed program encodings of every agent.
+    programs: Vec<u8>,
+    /// End offset of each agent's slice within `programs`.
+    program_ends: Vec<u32>,
+    /// Candidate variant section for the symmetry map under consideration.
+    candidate: Vec<u8>,
+}
+
+impl KeyScratch {
+    /// Fresh, empty scratch buffers.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A complete behavioural snapshot of a [`Simulation`](crate::sim::Simulation)
 /// mid-run, produced by
@@ -117,6 +164,10 @@ impl SimCheckpoint {
     /// symmetries described in the [module docs](self) — the memo-table
     /// identity of the model checker's breadth-first search.
     ///
+    /// Convenience wrapper around [`SimCheckpoint::canonical_key_into`] that
+    /// allocates a throwaway [`KeyScratch`]; hot callers should hold their
+    /// own scratch and call `canonical_key_into` directly.
+    ///
     /// The caller's `ring` must be the ring the checkpoint was captured on
     /// (the checkpoint itself does not store the landmark).
     ///
@@ -124,6 +175,155 @@ impl SimCheckpoint {
     ///
     /// Panics if `ring`'s size does not match the checkpoint.
     pub fn canonical_key(&self, ring: &RingTopology, out: &mut Vec<u8>) {
+        let mut scratch = KeyScratch::new();
+        self.canonical_key_into(ring, &mut scratch, out);
+    }
+
+    /// Packed-format canonicalisation into caller-owned buffers — the
+    /// allocation-free hot path of the model checker. See the
+    /// [module docs](self) for the exact layout; the key identity (equal key
+    /// ⇔ symmetric configuration) is the same as
+    /// [`SimCheckpoint::canonical_key`], which merely wraps this.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring`'s size does not match the checkpoint.
+    pub fn canonical_key_into(
+        &self,
+        ring: &RingTopology,
+        scratch: &mut KeyScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let n = ring.size();
+        assert_eq!(self.visited.len(), n, "checkpoint is from a different ring");
+        // Symmetry-invariant prefix: both map families relabel nodes and
+        // global directions but never touch round counters, scheduler state,
+        // sleep ages or program state (protocols only see local frames), so
+        // these are emitted once, outside the min-over-maps loop. This is
+        // the structural win over the retired Debug-string encoding, which
+        // re-emitted every program string for all 2n candidate maps.
+        scratch.programs.clear();
+        scratch.program_ends.clear();
+        for program in &self.program {
+            program.write_state_key(&mut scratch.programs);
+            let end = u32::try_from(scratch.programs.len()).expect("program key exceeds u32");
+            scratch.program_ends.push(end);
+        }
+        out.clear();
+        out.extend_from_slice(&self.round.to_le_bytes());
+        out.extend_from_slice(&self.activation_token.to_le_bytes());
+        let mut program_start = 0usize;
+        for index in 0..self.node.len() {
+            out.extend_from_slice(&self.asleep_on_port[index].to_le_bytes());
+            // `last_active_round` is only consumed through order comparisons
+            // (`min_by_key` in the first-mover scheduler and adversary), so
+            // the key encodes its dense rank among the agents: plays reaching
+            // the same configuration along different activation histories
+            // coincide. Teams are tiny (≤ u8::MAX agents), so the O(k²) scan
+            // beats allocating a rank table.
+            let r = self.last_active_round[index];
+            let rank = self.last_active_round.iter().filter(|&&other| other < r).count();
+            out.push(u8::try_from(rank).unwrap_or(u8::MAX));
+            let program_end = scratch.program_ends[index] as usize;
+            let program_key = &scratch.programs[program_start..program_end];
+            let len = u32::try_from(program_key.len()).expect("program key exceeds u32");
+            out.extend_from_slice(&len.to_le_bytes());
+            out.extend_from_slice(program_key);
+            program_start = program_end;
+        }
+        // Symmetry-variant suffix: lexicographic minimum over the admissible
+        // maps. Candidates are a few bytes (bit-packed visit map + 3 bytes
+        // per agent), so a full emit-and-compare per map is cheaper than any
+        // early-exit bookkeeping.
+        let variant_at = out.len();
+        let mut first = true;
+        let mut consider = |rot: usize, reflect: bool, out: &mut Vec<u8>| {
+            self.emit_variant(n, rot, reflect, &mut scratch.candidate);
+            if first || scratch.candidate.as_slice() < &out[variant_at..] {
+                out.truncate(variant_at);
+                out.extend_from_slice(&scratch.candidate);
+                first = false;
+            }
+        };
+        match ring.landmark() {
+            Some(landmark) => {
+                // Only maps fixing the landmark (carrying it to node 0) are
+                // admissible: the translation landmark → 0 and the
+                // reflection through the landmark.
+                let l = landmark.index();
+                consider((n - l) % n, false, out);
+                consider(l, true, out);
+            }
+            None => {
+                for rot in 0..n {
+                    consider(rot, false, out);
+                    consider(rot, true, out);
+                }
+            }
+        }
+    }
+
+    /// The symmetry-variant section of the packed key under one candidate
+    /// map: bit-packed permuted visit map, then mapped node + flags byte per
+    /// agent.
+    fn emit_variant(&self, n: usize, rot: usize, reflect: bool, buf: &mut Vec<u8>) {
+        buf.clear();
+        // Node `w` of the canonical image is node `map⁻¹(w)` of the
+        // original (both map families are trivially invertible).
+        let mut packed = 0u8;
+        for w in 0..n {
+            let v = if reflect { (rot + n - w) % n } else { (w + n - rot) % n };
+            if self.visited[v] {
+                packed |= 1 << (w % 8);
+            }
+            if w % 8 == 7 {
+                buf.push(packed);
+                packed = 0;
+            }
+        }
+        if !n.is_multiple_of(8) {
+            buf.push(packed);
+        }
+        for index in 0..self.node.len() {
+            let v = self.node[index].index();
+            let mapped = if reflect { (rot + n - v) % n } else { (v + rot) % n };
+            buf.extend_from_slice(&u16::try_from(mapped).unwrap_or(u16::MAX).to_le_bytes());
+            let port = match self.held_port[index] {
+                None => 0u8,
+                Some(dir) => {
+                    let dir = if reflect { dir.opposite() } else { dir };
+                    match dir {
+                        GlobalDirection::Ccw => 1,
+                        GlobalDirection::Cw => 2,
+                    }
+                }
+            };
+            let handedness = match (self.handedness[index], reflect) {
+                (Handedness::LeftIsCcw, false) | (Handedness::LeftIsCw, true) => 0u8,
+                _ => 1u8,
+            };
+            let prior = match self.prior[index] {
+                PriorOutcome::Idle => 0u8,
+                PriorOutcome::Moved => 1,
+                PriorOutcome::BlockedOnPort => 2,
+                PriorOutcome::PortAcquisitionFailed => 3,
+                PriorOutcome::Transported => 4,
+            };
+            buf.push(port | (u8::from(self.terminated[index]) << 2) | (handedness << 3) | (prior << 4));
+        }
+    }
+
+    /// The retired `Debug`-string canonical key, preserved verbatim as the
+    /// baseline the `model_check_throughput` bench measures the packed
+    /// encoding against, and as the second encoding of the key-equivalence
+    /// proptests. Induces exactly the same equivalence classes as
+    /// [`SimCheckpoint::canonical_key`] (see the [module docs](self));
+    /// allocates freely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring`'s size does not match the checkpoint.
+    pub fn canonical_key_debug(&self, ring: &RingTopology, out: &mut Vec<u8>) {
         let n = ring.size();
         assert_eq!(self.visited.len(), n, "checkpoint is from a different ring");
         // Program state via the derived `Debug` representation: complete

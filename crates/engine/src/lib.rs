@@ -70,7 +70,7 @@ pub mod trace;
 pub mod world;
 
 pub use adversary::EdgePolicy;
-pub use checkpoint::SimCheckpoint;
+pub use checkpoint::{KeyScratch, SimCheckpoint};
 pub use error::EngineError;
 pub use scheduler::ActivationPolicy;
 pub use sim::{AgentSpec, RunReport, RunSpec, Simulation, SimulationBuilder, StopCondition};

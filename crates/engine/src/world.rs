@@ -121,6 +121,37 @@ impl AgentProgram {
         }
     }
 
+    /// Appends an injective binary encoding of the program's full state to
+    /// `out`, for canonical-key construction (see
+    /// [`Protocol::write_state_key`]). A leading arm tag separates the two
+    /// representations, and a second discriminator byte records whether the
+    /// protocol supplied a packed encoding (`1`) or the encoder fell back to
+    /// the length-prefixed `Debug` string (`0`, allocation accepted on this
+    /// escape hatch — the format is injective because `Debug` derives print
+    /// every field).
+    pub fn write_state_key(&self, out: &mut Vec<u8>) {
+        let arm = match self {
+            AgentProgram::Catalog(_) => 0u8,
+            AgentProgram::Boxed(_) => 1u8,
+        };
+        out.push(arm);
+        let tag_at = out.len();
+        out.push(1);
+        let packed = match self {
+            AgentProgram::Catalog(p) => p.write_state_key(out),
+            AgentProgram::Boxed(p) => p.write_state_key(out),
+        };
+        if !packed {
+            out.truncate(tag_at + 1);
+            out[tag_at] = 0;
+            let label = match self {
+                AgentProgram::Catalog(p) => format!("{p:?}"),
+                AgentProgram::Boxed(p) => format!("{p:?}"),
+            };
+            dynring_model::statekey::push_bytes(out, label.as_bytes());
+        }
+    }
+
     /// An owned copy of the program with its full internal state.
     #[must_use]
     pub fn clone_program(&self) -> AgentProgram {

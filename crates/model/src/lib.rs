@@ -29,6 +29,7 @@ pub mod decision;
 pub mod knowledge;
 pub mod protocol;
 pub mod snapshot;
+pub mod statekey;
 
 pub use decision::Decision;
 pub use knowledge::{Knowledge, ScenarioAssumptions, SynchronyModel, TransportModel};

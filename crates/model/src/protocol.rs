@@ -73,7 +73,16 @@ impl fmt::Display for TerminationKind {
 ///     fn clone_box(&self) -> Box<dyn Protocol> { Box::new(self.clone()) }
 /// }
 /// ```
-pub trait Protocol: Send + fmt::Debug {
+///
+/// # Thread safety
+///
+/// Protocols are `Send + Sync`: all mutation happens through `&mut self`
+/// (the engine owns each agent's program exclusively), and the model
+/// checker's parallel search shares frozen checkpoints — which embed program
+/// state — across worker threads by reference. Protocols therefore cannot
+/// use non-`Sync` interior mutability (`Cell`, `RefCell`, `Rc`); none needs
+/// to, since `decide` takes `&mut self`.
+pub trait Protocol: Send + Sync + fmt::Debug {
     /// A short, stable, human-readable name of the algorithm (used in traces,
     /// reports and benchmarks).
     fn name(&self) -> &'static str;
@@ -171,6 +180,24 @@ pub trait Protocol: Send + fmt::Debug {
     /// debugging; the default implementation uses the `Debug` representation.
     fn state_label(&self) -> String {
         format!("{self:?}")
+    }
+
+    /// Appends a compact, **injective** binary encoding of the protocol's
+    /// full observable state to `out`, returning whether the protocol
+    /// supports packed keys. The default refuses (`false`, nothing written);
+    /// callers then fall back to the `Debug`-string encoding.
+    ///
+    /// Implementors must emit every field that can influence any future
+    /// [`Protocol::decide`] or [`Protocol::has_terminated`] answer, using the
+    /// fixed-width helpers in [`crate::statekey`] so that distinct states
+    /// never serialise to the same bytes. The exhaustive model checker builds
+    /// its canonical per-state dedup key from this encoding — a collision
+    /// between distinct states would silently prune reachable configurations
+    /// and void the impossibility proofs, which is why injectivity (not
+    /// compactness) is the load-bearing requirement.
+    fn write_state_key(&self, out: &mut Vec<u8>) -> bool {
+        let _ = out;
+        false
     }
 }
 

@@ -1,0 +1,128 @@
+//! Packed binary encodings of protocol state for canonical keys.
+//!
+//! The exhaustive model checker (in `dynring-analysis`) deduplicates search
+//! states by a canonical byte key. Historically that key serialised every
+//! agent's protocol state by `format!`-ing its `Debug` representation — a
+//! per-state `String` allocation on the hottest path of the search. The
+//! [`Protocol::write_state_key`](crate::Protocol::write_state_key) hook
+//! replaces the string with a compact binary encoding built from the helpers
+//! in this module.
+//!
+//! # Injectivity contract
+//!
+//! The only property the model checker needs is that the encoding is
+//! **injective**: two protocol instances emit the same bytes *iff* their
+//! observable state (everything that can influence any future decision) is
+//! identical. Equality of canonical keys is then exactly equality of
+//! configurations, so the exhaustive proofs stay proofs. The helpers keep
+//! injectivity compositional:
+//!
+//! * all integers are fixed-width little-endian, so field boundaries never
+//!   shift;
+//! * optional fields carry an explicit presence tag byte;
+//! * variable-length payloads are length-prefixed via [`push_bytes`].
+//!
+//! Implementors must emit **every** field that `Debug` would show (the
+//! equivalence proptests in `tests/model_check.rs` compare the equivalence
+//! classes induced by the two encodings).
+
+/// Appends a `u64` as 8 little-endian bytes.
+#[inline]
+pub fn push_u64(out: &mut Vec<u8>, value: u64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends a `u32` as 4 little-endian bytes.
+#[inline]
+pub fn push_u32(out: &mut Vec<u8>, value: u32) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends an `i64` as 8 little-endian bytes (two's complement).
+#[inline]
+pub fn push_i64(out: &mut Vec<u8>, value: i64) {
+    out.extend_from_slice(&value.to_le_bytes());
+}
+
+/// Appends an `Option<u64>` as a presence tag byte followed by the value
+/// (absent values emit tag `0` and no payload).
+#[inline]
+pub fn push_opt_u64(out: &mut Vec<u8>, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            push_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Appends an `Option<i64>` as a presence tag byte followed by the value.
+#[inline]
+pub fn push_opt_i64(out: &mut Vec<u8>, value: Option<i64>) {
+    match value {
+        Some(v) => {
+            out.push(1);
+            push_i64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+/// Appends a length-prefixed byte slice (`u32` little-endian length, then the
+/// bytes). The prefix keeps concatenated encodings injective.
+///
+/// # Panics
+///
+/// Panics if `bytes` is longer than `u32::MAX` (no protocol state comes
+/// within orders of magnitude of that).
+#[inline]
+pub fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    let len = u32::try_from(bytes.len()).expect("state-key payload exceeds u32 length");
+    push_u32(out, len);
+    out.extend_from_slice(bytes);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integers_are_fixed_width_little_endian() {
+        let mut out = Vec::new();
+        push_u64(&mut out, 0x0102_0304_0506_0708);
+        push_u32(&mut out, 0xAABB_CCDD);
+        push_i64(&mut out, -2);
+        assert_eq!(out.len(), 8 + 4 + 8);
+        assert_eq!(&out[..8], &[8, 7, 6, 5, 4, 3, 2, 1]);
+        assert_eq!(&out[8..12], &[0xDD, 0xCC, 0xBB, 0xAA]);
+        assert_eq!(&out[12..], &(-2i64).to_le_bytes());
+    }
+
+    #[test]
+    fn options_carry_presence_tags() {
+        let mut some = Vec::new();
+        push_opt_u64(&mut some, Some(7));
+        let mut none = Vec::new();
+        push_opt_u64(&mut none, None);
+        assert_eq!(some[0], 1);
+        assert_eq!(none, vec![0]);
+        assert_ne!(some, none);
+
+        let mut some_i = Vec::new();
+        push_opt_i64(&mut some_i, Some(-7));
+        assert_eq!(some_i.len(), 9);
+    }
+
+    #[test]
+    fn byte_payloads_are_length_prefixed() {
+        // Without the prefix "ab" + "c" and "a" + "bc" would collide.
+        let mut left = Vec::new();
+        push_bytes(&mut left, b"ab");
+        push_bytes(&mut left, b"c");
+        let mut right = Vec::new();
+        push_bytes(&mut right, b"a");
+        push_bytes(&mut right, b"bc");
+        assert_ne!(left, right);
+    }
+}

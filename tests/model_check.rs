@@ -4,7 +4,7 @@
 //! scripted adversary to the same defeat, and the canonical configuration key
 //! is invariant under the ring's rotation/reflection symmetries.
 
-use dynring_analysis::model_check::{self, ModelCheck, Objective};
+use dynring_analysis::model_check::{self, ModelCheck, Objective, Verdict};
 use dynring_analysis::scenario::{AdversaryKind, Scenario};
 use dynring_core::Algorithm;
 use dynring_engine::StopCondition;
@@ -13,12 +13,13 @@ use dynring_model::SynchronyModel;
 use proptest::prelude::*;
 
 /// The machine-checked acceptance matrix: every exhaustively checkable
-/// Table 1/3 cell for `4 ≤ n ≤ 8` resolves to the verdict the paper predicts,
-/// and every impossibility witness replays through
-/// [`AdversaryKind::Scripted`] to the same non-achievement outcome.
+/// Table 1/3 cell for `4 ≤ n ≤ max_check_n` (default 9, `DYNRING_MC_MAX_N`
+/// raises it) resolves to the verdict the paper predicts, and every
+/// impossibility witness replays through [`AdversaryKind::Scripted`] to the
+/// same non-achievement outcome.
 #[test]
 fn every_table1_and_table3_row_is_proven_for_small_n() {
-    for n in 4..=8 {
+    for n in 4..=model_check::max_check_n(9) {
         for cell in model_check::infeasibility_cells(n) {
             let verdict = cell.check.run();
             if cell.expect_infeasible {
@@ -64,6 +65,79 @@ fn figure2_script_is_pinned_by_the_discovered_worst_case() {
             3 * n as u64 - 6,
             "n={n}: the Figure 2 script should force exactly 3n-6"
         );
+    }
+}
+
+/// Tentpole: the level-synchronous parallel search is bit-equivalent to the
+/// sequential reference over **every** packaged Table 1/3 cell plus the
+/// Theorem 4 lower-bound cell — identical [`SearchStats`], verdicts, and
+/// witness/worst schedules. The parallel merge replays chunk records in
+/// sequential order, so nothing weaker than equality is acceptable.
+#[test]
+fn parallel_search_is_bit_identical_to_sequential() {
+    for n in 4..=7 {
+        let mut checks: Vec<(String, ModelCheck)> = model_check::infeasibility_cells(n)
+            .into_iter()
+            .map(|cell| (cell.id.clone(), cell.check))
+            .collect();
+        if n >= 5 {
+            checks.push((format!("theorem4(n={n})"), model_check::theorem4_cell(n)));
+        }
+        for (id, check) in checks {
+            let sequential = check.run_with_threads(1);
+            let parallel = check.run_with_threads(4);
+            assert_eq!(
+                sequential.stats(),
+                parallel.stats(),
+                "{id}: parallel search stats diverged from sequential"
+            );
+            match (&sequential, &parallel) {
+                (Verdict::Infeasible(s), Verdict::Infeasible(p)) => {
+                    assert_eq!(s.witness, p.witness, "{id}: witness schedules diverged");
+                    assert_eq!(s.defeat_round, p.defeat_round, "{id}: defeat rounds diverged");
+                    assert_eq!(s.proof_depth, p.proof_depth, "{id}: proof depths diverged");
+                }
+                (Verdict::Feasible(s), Verdict::Feasible(p)) => {
+                    assert_eq!(
+                        s.worst_schedule, p.worst_schedule,
+                        "{id}: worst schedules diverged"
+                    );
+                    assert_eq!(s.worst_round, p.worst_round, "{id}: worst rounds diverged");
+                }
+                (s, p) => panic!("{id}: verdicts diverged: sequential {s:?} vs parallel {p:?}"),
+            }
+        }
+    }
+}
+
+/// Tentpole: dedup on the legacy `Debug`-string key and on the packed binary
+/// key must agree on every verdict and every witness — both encodings are
+/// injective per candidate mapping, so the lexicographic minimum lands on the
+/// same orbit representative and the searches prune identically.
+#[test]
+fn debug_key_search_agrees_with_packed_key_search() {
+    for n in 4..=5 {
+        for cell in model_check::infeasibility_cells(n) {
+            let packed = cell.check.run_with_threads(1);
+            let mut debug_check = cell.check.clone();
+            debug_check.use_debug_key = true;
+            let debug = debug_check.run_with_threads(1);
+            assert_eq!(
+                packed.stats(),
+                debug.stats(),
+                "{}: packed-key search stats diverged from Debug-key search",
+                cell.id
+            );
+            assert_eq!(
+                packed.is_feasible(),
+                debug.is_feasible(),
+                "{}: verdicts diverged between key encodings",
+                cell.id
+            );
+            if let (Some(p), Some(d)) = (packed.infeasible(), debug.infeasible()) {
+                assert_eq!(p.witness, d.witness, "{}: witnesses diverged", cell.id);
+            }
+        }
     }
 }
 
@@ -163,6 +237,99 @@ proptest! {
             prop_assert_eq!(
                 &key_a, &key_b,
                 "{} n={} shift={} diverged at round {}", algorithm, n, shift, round
+            );
+        }
+    }
+
+    /// Tentpole: the packed binary key induces **exactly** the same
+    /// equivalence classes as the legacy `Debug`-string key. Two
+    /// configurations — one a random rotation/reflection of the other, or a
+    /// genuinely different cell (perturbed start) — have equal packed keys if
+    /// and only if they have equal `Debug` keys, at every round of a random
+    /// forced-edge play.
+    #[test]
+    fn packed_key_classes_match_debug_key_classes(
+        n in 4usize..9,
+        pick in 0usize..64,
+        start_a in 0usize..8,
+        start_b in 0usize..8,
+        shift in 0usize..8,
+        reflect in any::<bool>(),
+        perturb in any::<bool>(),
+        schedule_bits in any::<u64>(),
+    ) {
+        let catalog = Algorithm::full_catalog(n);
+        let algorithm = catalog[pick % catalog.len()];
+        let shift = shift % n;
+        let agents = algorithm.required_agents();
+        let starts: Vec<usize> =
+            [start_a % n, start_b % n, (start_a + start_b) % n][..agents.min(3)].to_vec();
+        if starts.is_empty() { return Ok(()); }
+
+        // The comparison cell: a symmetry image of the base (equal classes
+        // expected) or a perturbed sibling (usually distinct classes) —
+        // either way both encodings must agree on equality.
+        let map = |v: usize| {
+            let rotated = (v + shift) % n;
+            if reflect { (n - rotated) % n } else { rotated }
+        };
+        let base = catalog_cell(n, algorithm, 1).with_starts(starts.clone());
+        let mut other = catalog_cell(n, algorithm, 1).with_starts(
+            starts
+                .iter()
+                .map(|&s| if perturb { (s + 1) % n } else { map(s) })
+                .collect(),
+        );
+        if !perturb {
+            other.landmark = base.landmark.map(map);
+            if reflect {
+                other.orientations = base
+                    .orientations
+                    .iter()
+                    .map(|&h| match h {
+                        Handedness::LeftIsCcw => Handedness::LeftIsCw,
+                        Handedness::LeftIsCw => Handedness::LeftIsCcw,
+                    })
+                    .collect();
+            }
+        }
+
+        let check_a = ModelCheck::new(base, Objective::Explore, 1);
+        let check_b = ModelCheck::new(other, Objective::Explore, 1);
+        let mut sim_a = check_a.branchable_simulation();
+        let mut sim_b = check_b.branchable_simulation();
+        let ring = check_a.scenario.ring();
+        let (mut packed_a, mut packed_b) = (Vec::new(), Vec::new());
+        let (mut debug_a, mut debug_b) = (Vec::new(), Vec::new());
+        for round in 0..8u32 {
+            let choice = (schedule_bits >> (8 * round)) as usize % (n + 1);
+            let edge_a = (choice < n).then(|| EdgeId::new(choice));
+            let edge_b = if perturb {
+                edge_a
+            } else {
+                // Map the forced edge through the same symmetry: edge
+                // e = (e, e+1) rotates to e + shift and reflects to
+                // (n - 1) - e.
+                (choice < n).then(|| {
+                    let rotated = (choice + shift) % n;
+                    EdgeId::new(if reflect { (n + n - 1 - rotated) % n } else { rotated })
+                })
+            };
+            sim_a.step_with_edge(edge_a);
+            sim_b.step_with_edge(edge_b);
+            let cp_a = sim_a.checkpoint();
+            let cp_b = sim_b.checkpoint();
+            cp_a.canonical_key(&ring, &mut packed_a);
+            cp_b.canonical_key(&ring, &mut packed_b);
+            cp_a.canonical_key_debug(&ring, &mut debug_a);
+            cp_b.canonical_key_debug(&ring, &mut debug_b);
+            prop_assert_eq!(
+                packed_a == packed_b,
+                debug_a == debug_b,
+                "{} n={} shift={} reflect={} perturb={}: encodings disagree at round {} \
+                 (packed equal: {}, debug equal: {})",
+                algorithm, n, shift, reflect, perturb, round,
+                packed_a == packed_b, debug_a == debug_b
             );
         }
     }
